@@ -1,0 +1,238 @@
+// Package bf4 holds the repository-level benchmark harness: one
+// testing.B benchmark per evaluation artifact (see the experiment index
+// in DESIGN.md). `go test -bench=. -benchmem` regenerates every number
+// EXPERIMENTS.md reports; cmd/bf4-bench prints the same data as tables.
+package bf4
+
+import (
+	"testing"
+	"time"
+
+	"bf4/internal/baseline"
+	"bf4/internal/core"
+	"bf4/internal/dataplane"
+	"bf4/internal/driver"
+	"bf4/internal/experiments"
+	"bf4/internal/infer"
+	"bf4/internal/ir"
+	"bf4/internal/progs"
+	"bf4/internal/shim"
+	"bf4/internal/spec"
+	"bf4/internal/trace"
+)
+
+// benchSwitchScale keeps switch-based benchmarks tractable in CI; the
+// full-scale numbers come from `bf4-bench -switch-scale 16`.
+const benchSwitchScale = 2
+
+func compileSwitch(b *testing.B, slicing bool) *core.Pipeline {
+	b.Helper()
+	pl, err := core.Compile(progs.GenerateSwitch(benchSwitchScale), ir.DefaultOptions(), slicing)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pl
+}
+
+// ---------------------------------------------------------------- E1
+
+func benchTable1Program(b *testing.B, name string) {
+	p := progs.Get(name)
+	if p == nil {
+		b.Fatalf("unknown program %s", name)
+	}
+	src := p.Source
+	if name == "switch" {
+		src = progs.GenerateSwitch(benchSwitchScale)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := driver.Run(name, src, driver.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Bugs), "bugs")
+		b.ReportMetric(float64(res.BugsAfterInfer), "after-infer")
+		b.ReportMetric(float64(res.BugsAfterFixes), "after-fixes")
+		b.ReportMetric(float64(res.KeysAdded), "keys")
+	}
+}
+
+func BenchmarkTable1_SimpleNat(b *testing.B)   { benchTable1Program(b, "simple_nat") }
+func BenchmarkTable1_Arp(b *testing.B)         { benchTable1Program(b, "arp") }
+func BenchmarkTable1_MplbRouter(b *testing.B)  { benchTable1Program(b, "mplb_router-ppc") }
+func BenchmarkTable1_Linearroad(b *testing.B)  { benchTable1Program(b, "linearroad_16") }
+func BenchmarkTable1_HeavyHitter(b *testing.B) { benchTable1Program(b, "heavy_hitter_2") }
+func BenchmarkTable1_Switch(b *testing.B)      { benchTable1Program(b, "switch") }
+
+// ---------------------------------------------------------------- E2
+
+func BenchmarkSlicingOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pl := compileSwitch(b, true)
+		rep := pl.FindBugs()
+		b.ReportMetric(float64(pl.SliceStats.SliceInstructions), "instructions")
+		b.ReportMetric(float64(rep.NumReachable()), "bugs")
+	}
+}
+
+func BenchmarkSlicingOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pl := compileSwitch(b, false)
+		rep := pl.FindBugs()
+		b.ReportMetric(float64(pl.SliceStats.TotalInstructions), "instructions")
+		b.ReportMetric(float64(rep.NumReachable()), "bugs")
+	}
+}
+
+// ---------------------------------------------------------------- E3
+
+func BenchmarkFastInfer(b *testing.B) {
+	pl := compileSwitch(b, true)
+	rep := pl.FindBugs()
+	opts := infer.DefaultOptions()
+	opts.UseInfer, opts.UseMultiTable = false, false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := infer.Run(pl, rep, opts)
+		b.ReportMetric(float64(rep.NumReachable()-len(res.Uncontrolled)), "controlled")
+	}
+}
+
+func BenchmarkInfer(b *testing.B) {
+	opts := infer.DefaultOptions()
+	opts.UseFastInfer, opts.UseMultiTable = false, false
+	for i := 0; i < b.N; i++ {
+		pl := compileSwitch(b, true)
+		rep := pl.FindBugs()
+		res := infer.Run(pl, rep, opts)
+		b.ReportMetric(float64(rep.NumReachable()-len(res.Uncontrolled)), "controlled")
+	}
+}
+
+// ---------------------------------------------------------------- E4/E5
+
+func BenchmarkMultiTableHeuristic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pl := compileSwitch(b, true)
+		rep := pl.FindBugs()
+		res := infer.Run(pl, rep, infer.DefaultOptions())
+		b.ReportMetric(float64(len(res.Uncontrolled)), "uncontrolled")
+	}
+}
+
+func BenchmarkDontCareHeuristic(b *testing.B) {
+	opts := infer.DefaultOptions()
+	opts.UseMultiTable = false
+	for i := 0; i < b.N; i++ {
+		pl := compileSwitch(b, true)
+		rep := pl.FindBugs()
+		res := infer.Run(pl, rep, opts)
+		b.ReportMetric(float64(len(res.Uncontrolled)), "uncontrolled")
+	}
+}
+
+// ---------------------------------------------------------------- E6
+
+func BenchmarkP4VApprox(b *testing.B) {
+	pl := compileSwitch(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := baseline.P4VApprox(pl)
+		if !r.AnyBugReachable {
+			b.Fatal("p4v query must find a bug in the switch")
+		}
+	}
+}
+
+// ---------------------------------------------------------------- E7
+
+func BenchmarkVeraConcrete(b *testing.B) {
+	pl := compileSwitch(b, true)
+	snap := dataplane.NewSnapshot() // empty snapshot: all tables miss
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := baseline.Vera(pl, baseline.VeraOptions{Snapshot: snap, Timeout: time.Minute})
+		b.ReportMetric(float64(r.Paths), "paths")
+	}
+}
+
+func BenchmarkVeraSymbolic(b *testing.B) {
+	pl := compileSwitch(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := baseline.Vera(pl, baseline.VeraOptions{MaxPaths: 2000})
+		b.ReportMetric(100*r.Coverage(), "coverage%")
+		b.ReportMetric(float64(r.Paths), "paths")
+	}
+}
+
+// ---------------------------------------------------------------- E8
+
+func buildShimForBench(b *testing.B) (*shim.Shim, *spec.File) {
+	b.Helper()
+	src := progs.GenerateSwitch(benchSwitchScale)
+	res, err := driver.Run("switch", src, driver.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := res.Fixed
+	if pl == nil {
+		pl = res.Initial
+	}
+	file := spec.Build("switch", pl.IR, res.InitialRep, res.FinalInfer, res.Fixes.Special)
+	sh, err := shim.New(file)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sh, file
+}
+
+func BenchmarkShimPerUpdate(b *testing.B) {
+	sh, file := buildShimForBench(b)
+	gen := trace.NewGenerator(7, file)
+	updates := gen.Updates(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sh.Validate(updates[i%len(updates)])
+	}
+}
+
+func BenchmarkShimApplyTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sh, file := buildShimForBench(b)
+		gen := trace.NewGenerator(7, file)
+		updates := gen.Updates(2000)
+		b.StartTimer()
+		for _, u := range updates {
+			_ = sh.Apply(u)
+		}
+		st := sh.Stats()
+		b.ReportMetric(float64(st.Rejected), "rejected")
+	}
+}
+
+// ---------------------------------------------------------------- E9/E10
+
+func BenchmarkKeyOverheadAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.KeyOverhead(benchSwitchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.KeyPercent, "key%")
+		b.ReportMetric(float64(r.BitsAdded), "bits")
+	}
+}
+
+func BenchmarkStageModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Stages("simple_nat")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Original), "stages")
+		b.ReportMetric(float64(r.WithGuards), "guarded-stages")
+	}
+}

@@ -1,0 +1,115 @@
+// Command bf4-shim runs the runtime sanitization shim: a P4Runtime-like
+// TCP server that validates every controller update against the
+// assertions bf4 inferred at compile time, maintaining shadow tables and
+// rejecting rules that would make a bug reachable (paper §4.4).
+//
+// Usage:
+//
+//	bf4-shim -spec assertions.json -listen :9559 [-program prog.p4]
+//
+// With -program (or -corpus/-switch-scale) the shim also embeds the
+// dataplane simulator, enabling "packet" requests that execute against
+// the current shadow snapshot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"bf4/internal/driver"
+	"bf4/internal/ir"
+	"bf4/internal/p4runtime"
+	"bf4/internal/progs"
+	"bf4/internal/shim"
+	"bf4/internal/spec"
+)
+
+func main() {
+	var (
+		specPath    = flag.String("spec", "", "controller assertions file (from bf4 -spec)")
+		listen      = flag.String("listen", "127.0.0.1:9559", "listen address")
+		programPath = flag.String("program", "", "P4 source for packet injection (optional)")
+		corpusName  = flag.String("corpus", "", "corpus program for packet injection")
+		switchScale = flag.Int("switch-scale", 0, "generated switch scale for packet injection")
+	)
+	flag.Parse()
+
+	src, name := "", ""
+	switch {
+	case *programPath != "":
+		data, err := os.ReadFile(*programPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		src, name = string(data), *programPath
+	case *corpusName != "":
+		p := progs.Get(*corpusName)
+		if p == nil {
+			fatalf("unknown corpus program %q", *corpusName)
+		}
+		src, name = p.Source, p.Name
+	case *switchScale > 0:
+		src, name = progs.GenerateSwitch(*switchScale), "switch"
+	}
+
+	var file *spec.File
+	var prog *ir.Program
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		file, err = spec.Parse(data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if src != "" {
+			res, err := driver.Run(name, src, driver.DefaultConfig())
+			if err != nil {
+				fatalf("compile program: %v", err)
+			}
+			pl := res.Fixed
+			if pl == nil {
+				pl = res.Initial
+			}
+			prog = pl.IR
+		}
+	} else if src != "" {
+		// No spec file: run the full analysis here and serve its output.
+		res, err := driver.Run(name, src, driver.DefaultConfig())
+		if err != nil {
+			fatalf("bf4: %v", err)
+		}
+		pl := res.Fixed
+		if pl == nil {
+			pl = res.Initial
+		}
+		prog = pl.IR
+		file = spec.Build(name, pl.IR, res.InitialRep, res.FinalInfer, res.Fixes.Special)
+		fmt.Printf("analyzed %s: %s\n", name, res.Summary())
+	} else {
+		fatalf("need -spec and/or a program (-program/-corpus/-switch-scale)")
+	}
+
+	sh, err := shim.New(file)
+	if err != nil {
+		fatalf("shim: %v", err)
+	}
+	srv := &p4runtime.Server{Shim: sh, Prog: prog}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("bf4-shim: %d assertions over %d tables; listening on %s\n",
+		len(file.Assertions), len(file.Tables), ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		fatalf("serve: %v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

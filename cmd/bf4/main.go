@@ -1,0 +1,152 @@
+// Command bf4 is the compile-time half of the system: it verifies a P4
+// program, infers controller annotations, proposes fixes and emits the
+// artifacts the runtime shim consumes.
+//
+// Usage:
+//
+//	bf4 [flags] program.p4
+//	bf4 [flags] -corpus simple_nat
+//	bf4 [flags] -switch-scale 8
+//
+// Flags:
+//
+//	-spec out.json     write the controller assertions + table schemas
+//	-fixed out.p4      write the fixed program (keys added)
+//	-render            print the SQL-like assertion rendering
+//	-no-slice          disable bug-reachability slicing
+//	-no-dontcare       disable dontCare-widened inference
+//	-no-multitable     disable the multi-table heuristic
+//	-v                 verbose: list every bug with its verdict
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bf4/internal/driver"
+	"bf4/internal/progs"
+	"bf4/internal/spec"
+)
+
+func main() {
+	var (
+		corpusName   = flag.String("corpus", "", "analyze a named corpus program (see -list)")
+		list         = flag.Bool("list", false, "list corpus programs and exit")
+		switchScale  = flag.Int("switch-scale", 0, "analyze a generated switch program at this scale")
+		specOut      = flag.String("spec", "", "write controller assertions (JSON) to this file")
+		fixedOut     = flag.String("fixed", "", "write the fixed P4 program to this file")
+		render       = flag.Bool("render", false, "print assertions in SQL-like form")
+		noSlice      = flag.Bool("no-slice", false, "disable slicing")
+		noDontCare   = flag.Bool("no-dontcare", false, "disable dontCare handling")
+		noMultiTable = flag.Bool("no-multitable", false, "disable the multi-table heuristic")
+		verbose      = flag.Bool("v", false, "verbose bug listing")
+		showTrace    = flag.Bool("trace", false, "print a counterexample trace for each reachable bug")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range progs.All() {
+			fmt.Printf("%-22s %s\n", p.Name, p.Description)
+		}
+		return
+	}
+
+	name, src := "", ""
+	switch {
+	case *corpusName != "":
+		p := progs.Get(*corpusName)
+		if p == nil {
+			fatalf("unknown corpus program %q (use -list)", *corpusName)
+		}
+		name, src = p.Name, p.Source
+	case *switchScale > 0:
+		name, src = fmt.Sprintf("switch@%d", *switchScale), progs.GenerateSwitch(*switchScale)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		name, src = flag.Arg(0), string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := driver.DefaultConfig()
+	cfg.Slicing = !*noSlice
+	cfg.IR.DontCare = !*noDontCare
+	cfg.Infer.UseDontCare = !*noDontCare
+	cfg.Infer.UseMultiTable = !*noMultiTable
+
+	res, err := driver.Run(name, src, cfg)
+	if err != nil {
+		fatalf("bf4: %v", err)
+	}
+
+	fmt.Println(res.Summary())
+	if *verbose {
+		for _, b := range res.InitialRep.Bugs {
+			verdict := "unreachable"
+			if b.Reachable {
+				verdict = "REACHABLE"
+				if res.InferResult.Controlled[b.Node] {
+					verdict = "controlled"
+				}
+			}
+			fmt.Printf("  %-11s %s\n", verdict, b.Description())
+		}
+	}
+	if *showTrace {
+		for _, b := range res.InitialRep.Bugs {
+			if !b.Reachable {
+				continue
+			}
+			tr, err := res.Initial.Counterexample(b)
+			if err != nil {
+				fmt.Printf("trace unavailable: %v\n", err)
+				continue
+			}
+			fmt.Print(res.Initial.RenderTrace(b, tr))
+		}
+	}
+	if len(res.Fixes.Keys) > 0 || len(res.Fixes.Special) > 0 || len(res.Fixes.Unfixable) > 0 {
+		fmt.Print(res.Fixes.Describe())
+	}
+	for _, b := range res.Dataplane {
+		fmt.Printf("dataplane bug (fix the P4 code): %s\n", b.Description())
+	}
+
+	finalPl := res.Fixed
+	if finalPl == nil {
+		finalPl = res.Initial
+	}
+	file := spec.Build(name, finalPl.IR, res.InitialRep, res.FinalInfer, res.Fixes.Special)
+	if *render {
+		fmt.Print(file.Render())
+	}
+	if *specOut != "" {
+		data, err := file.Marshal()
+		if err != nil {
+			fatalf("marshal spec: %v", err)
+		}
+		if err := os.WriteFile(*specOut, data, 0o644); err != nil {
+			fatalf("write spec: %v", err)
+		}
+		fmt.Printf("wrote %d assertions to %s\n", len(file.Assertions), *specOut)
+	}
+	if *fixedOut != "" {
+		if res.FixedSource == "" {
+			fmt.Println("no fixes needed; fixed program not written")
+		} else if err := os.WriteFile(*fixedOut, []byte(res.FixedSource), 0o644); err != nil {
+			fatalf("write fixed program: %v", err)
+		} else {
+			fmt.Printf("wrote fixed program to %s\n", *fixedOut)
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

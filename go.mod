@@ -1,0 +1,3 @@
+module bf4
+
+go 1.22

@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"bf4/internal/core"
+	"bf4/internal/dataplane"
+	"bf4/internal/ir"
+)
+
+const natSrc = `
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<32> srcAddr; bit<32> dstAddr; }
+struct meta_t { bit<1> do_forward; bit<32> nhop; }
+struct metadata { meta_t meta; }
+struct headers { ethernet_t ethernet; ipv4_t ipv4; }
+
+parser P(packet_in pkt, out headers hdr, inout metadata meta,
+         inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            16w0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+}
+
+control Ing(inout headers hdr, inout metadata meta,
+            inout standard_metadata_t smeta) {
+    action drop_() { mark_to_drop(smeta); }
+    action nat_hit(bit<32> a) {
+        meta.meta.do_forward = 1w1;
+        meta.meta.nhop = a;
+    }
+    table nat {
+        key = { hdr.ipv4.isValid(): exact; hdr.ipv4.srcAddr: ternary; }
+        actions = { drop_; nat_hit; }
+        default_action = drop_();
+    }
+    action set_nhop(bit<32> nhop, bit<9> port) {
+        meta.meta.nhop = nhop;
+        smeta.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+    }
+    table ipv4_lpm {
+        key = { meta.meta.nhop: lpm; }
+        actions = { set_nhop; drop_; }
+    }
+    apply {
+        nat.apply();
+        if (meta.meta.do_forward == 1w1) {
+            ipv4_lpm.apply();
+        }
+    }
+}
+V1Switch(P(), Ing()) main;
+`
+
+func compileNAT(t *testing.T) *core.Pipeline {
+	t.Helper()
+	pl, err := core.Compile(natSrc, ir.DefaultOptions(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestP4VApproxFindsBug(t *testing.T) {
+	pl := compileNAT(t)
+	r := P4VApprox(pl)
+	if !r.AnyBugReachable {
+		t.Fatal("p4v-style query must find a bug in the NAT program")
+	}
+	if r.Model == nil {
+		t.Fatal("no witness model")
+	}
+	if r.Duration <= 0 {
+		t.Fatal("no duration recorded")
+	}
+}
+
+func TestP4VApproxCleanProgram(t *testing.T) {
+	src := `
+header h_t { bit<8> x; }
+struct headers { h_t h; }
+struct metadata { bit<1> m; }
+parser P(packet_in pkt, out headers hdr, inout metadata meta,
+         inout standard_metadata_t smeta) {
+    state start { pkt.extract(hdr.h); transition accept; }
+}
+control Ing(inout headers hdr, inout metadata meta,
+            inout standard_metadata_t smeta) {
+    apply { smeta.egress_spec = 9w1; hdr.h.x = 8w5; }
+}
+V1Switch(P(), Ing()) main;
+`
+	pl, err := core.Compile(src, ir.DefaultOptions(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := P4VApprox(pl)
+	if r.AnyBugReachable {
+		t.Fatal("clean program reported buggy")
+	}
+}
+
+func TestVeraConcreteSnapshot(t *testing.T) {
+	pl := compileNAT(t)
+	// Snapshot with a sane rule: exploration must complete and find no
+	// bug on this snapshot.
+	snap := dataplane.NewSnapshot()
+	snap.Insert("nat", &dataplane.Entry{
+		Keys:   []dataplane.KeyMatch{dataplane.NewExact(1), dataplane.NewTernary(0, 0)},
+		Action: "drop_",
+	})
+	r := Vera(pl, VeraOptions{Snapshot: snap})
+	if !r.Completed {
+		t.Fatal("concrete exploration must complete")
+	}
+	if len(r.BugsHit) != 0 {
+		t.Fatalf("sane snapshot hit bugs: %v", r.BugsHit)
+	}
+	if r.Paths == 0 {
+		t.Fatal("no paths explored")
+	}
+}
+
+func TestVeraConcreteFaultySnapshot(t *testing.T) {
+	pl := compileNAT(t)
+	// The paper's faulty rule makes the bug findable on this snapshot.
+	snap := dataplane.NewSnapshot()
+	snap.Insert("nat", &dataplane.Entry{
+		Keys:   []dataplane.KeyMatch{dataplane.NewExact(0), dataplane.NewTernary(0, 0xFF000000)},
+		Action: "nat_hit",
+		Params: []*big.Int{big.NewInt(1)},
+	})
+	r := Vera(pl, VeraOptions{Snapshot: snap})
+	if !r.Completed {
+		t.Fatal("exploration must complete")
+	}
+	found := false
+	for b := range r.BugsHit {
+		if b.Bug == ir.BugInvalidKeyRead {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("faulty snapshot's bug not found; hit %v", r.BugsHit)
+	}
+}
+
+func TestVeraSymbolicFindsMore(t *testing.T) {
+	pl := compileNAT(t)
+	r := Vera(pl, VeraOptions{MaxPaths: 10000, Timeout: 30 * time.Second})
+	if len(r.BugsHit) == 0 {
+		t.Fatal("symbolic exploration must find the NAT bugs")
+	}
+	if r.Coverage() <= 0 || r.Coverage() > 1 {
+		t.Fatalf("coverage = %v", r.Coverage())
+	}
+}
+
+func TestVeraBudgetStopsExploration(t *testing.T) {
+	pl := compileNAT(t)
+	r := Vera(pl, VeraOptions{MaxPaths: 3})
+	if r.Completed {
+		t.Fatal("3-path budget cannot complete the NAT program")
+	}
+	if r.Paths > 4 {
+		t.Fatalf("explored %d paths past the budget", r.Paths)
+	}
+}

@@ -1,0 +1,193 @@
+// Package core is bf4's verification engine (the paper's Figure 3): it
+// compiles P4 source through the frontend, IR lowering (expansion +
+// instrumentation), passification and reachability-condition generation,
+// then decides per-bug reachability with the SMT solver, producing models
+// (counterexample inputs) for each reachable bug and associating every
+// bug with its dominating assert point (table apply).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bf4/internal/cfg"
+	"bf4/internal/ir"
+	"bf4/internal/p4/ast"
+	"bf4/internal/p4/parser"
+	"bf4/internal/p4/types"
+	"bf4/internal/slice"
+	"bf4/internal/smt"
+	"bf4/internal/solver"
+	"bf4/internal/ssa"
+	"bf4/internal/wp"
+)
+
+// Pipeline bundles all compiled artifacts for one P4 program.
+type Pipeline struct {
+	Source string
+	AST    *ast.Program
+	Info   *types.Info
+	IR     *ir.Program
+	Pass   *ssa.Result
+	// Reach holds sliced reachability conditions for bug checks;
+	// FullReach holds the unsliced conditions (OK formula for Infer).
+	Reach      *wp.Reach
+	FullReach  *wp.Reach
+	Doms       *cfg.Dominators
+	SliceStats slice.Stats
+	Options    ir.Options
+	Sliced     bool
+
+	// CompileTime covers frontend + IR + SSA + WP, for the evaluation
+	// harness.
+	CompileTime time.Duration
+}
+
+// Compile runs the frontend and all verification-form passes.
+func Compile(src string, opts ir.Options, useSlicing bool) (*Pipeline, error) {
+	start := time.Now()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	return CompileChecked(src, prog, info, opts, useSlicing, start)
+}
+
+// CompileChecked continues compilation from an already-checked AST.
+func CompileChecked(src string, prog *ast.Program, info *types.Info, opts ir.Options, useSlicing bool, start time.Time) (*Pipeline, error) {
+	p, err := ir.Build(prog, info, opts)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	pass := ssa.Passify(p)
+	full := wp.Compute(p, pass, nil)
+	pl := &Pipeline{
+		Source:    src,
+		AST:       prog,
+		Info:      info,
+		IR:        p,
+		Pass:      pass,
+		FullReach: full,
+		Doms:      cfg.NewDominators(p),
+		Options:   opts,
+		Sliced:    useSlicing,
+	}
+	if useSlicing {
+		keep, stats := slice.WRTBugs(p)
+		pl.SliceStats = stats
+		pl.Reach = wp.Compute(p, pass, keep)
+	} else {
+		pl.SliceStats = slice.Stats{
+			TotalInstructions: p.NumInstructions(),
+			SliceInstructions: p.NumInstructions(),
+		}
+		pl.Reach = full
+	}
+	pl.CompileTime = time.Since(start)
+	return pl, nil
+}
+
+// Bug is one potential bug and its verification outcome.
+type Bug struct {
+	Node      *ir.Node
+	Kind      ir.BugKind
+	Reachable bool
+	// Instance is the table instance whose assert point dominates the
+	// bug (nil for bugs outside any table, e.g. egress_spec).
+	Instance *ir.TableInstance
+	// Model is a satisfying assignment for the bug's reachability
+	// condition (inputs + table entries), present when Reachable.
+	Model smt.Env
+	// Cond is the bug's reachability condition.
+	Cond *smt.Term
+}
+
+// Description renders a human-readable bug summary.
+func (b *Bug) Description() string {
+	where := ""
+	if b.Instance != nil {
+		where = " in table " + b.Instance.Table.Name
+	}
+	pos := ""
+	if b.Node.Pos.IsValid() {
+		pos = fmt.Sprintf(" at %s", b.Node.Pos)
+	}
+	return fmt.Sprintf("[%s]%s%s: %s", b.Kind, where, pos, b.Node.Comment)
+}
+
+// Report is the result of the bug-finding phase.
+type Report struct {
+	Pipeline  *Pipeline
+	Bugs      []*Bug
+	SolveTime time.Duration
+	Checks    int
+	// S is the incremental solver used for the reachability checks; the
+	// inference phase reuses it (all bug conditions are already blasted)
+	// for its predicate rechecks.
+	S *solver.Solver
+}
+
+// NumReachable counts reachable bugs.
+func (r *Report) NumReachable() int {
+	n := 0
+	for _, b := range r.Bugs {
+		if b.Reachable {
+			n++
+		}
+	}
+	return n
+}
+
+// ReachableByKind tallies reachable bugs per class.
+func (r *Report) ReachableByKind() map[ir.BugKind]int {
+	out := map[ir.BugKind]int{}
+	for _, b := range r.Bugs {
+		if b.Reachable {
+			out[b.Kind]++
+		}
+	}
+	return out
+}
+
+// FindBugs checks reachability of every instrumented bug (paper §4.1:
+// SAT(reach(bug)) per bug node, incrementally on one solver).
+func (pl *Pipeline) FindBugs() *Report {
+	start := time.Now()
+	s := solver.New(pl.IR.F)
+	rep := &Report{Pipeline: pl, S: s}
+	reachable := pl.IR.Reachable()
+
+	bugs := append([]*ir.Node(nil), pl.IR.Bugs...)
+	sort.Slice(bugs, func(i, j int) bool { return bugs[i].ID < bugs[j].ID })
+	for _, bn := range bugs {
+		if !reachable[bn] {
+			continue
+		}
+		cond := pl.Reach.Cond[bn]
+		if cond == nil {
+			continue
+		}
+		b := &Bug{Node: bn, Kind: bn.Bug, Cond: cond}
+		if ap := cfg.DominatingAssertPoint(pl.Doms, bn); ap != nil {
+			b.Instance = ap.Instance
+		}
+		if cond.IsFalse() {
+			rep.Bugs = append(rep.Bugs, b)
+			continue
+		}
+		res := s.Check(cond)
+		rep.Checks++
+		if res == solver.Sat {
+			b.Reachable = true
+			b.Model = s.Model()
+		}
+		rep.Bugs = append(rep.Bugs, b)
+	}
+	rep.SolveTime = time.Since(start)
+	return rep
+}

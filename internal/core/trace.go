@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"bf4/internal/dataplane"
+	"bf4/internal/ir"
+)
+
+// Counterexample replays a reachable bug's solver model operationally and
+// returns the execution trace (the paper reports counterexample
+// instruction traces to the programmer; slicing makes them shorter, our
+// replay makes them concrete).
+func (pl *Pipeline) Counterexample(b *Bug) (*dataplane.Trace, error) {
+	if !b.Reachable {
+		return nil, fmt.Errorf("core: bug is not reachable")
+	}
+	interp := &dataplane.Interp{P: pl.IR, Model: b.Model, Pass: pl.Pass}
+	tr, err := interp.Run()
+	if err != nil {
+		return nil, err
+	}
+	if tr.Terminal != b.Node {
+		return nil, fmt.Errorf("core: replay diverged: reached %s instead of n%d", tr.Terminal, b.Node.ID)
+	}
+	return tr, nil
+}
+
+// RenderTrace formats a replayed counterexample as a compact, P4-level
+// narrative: table decisions (hit/miss, chosen action), branch decisions
+// with source positions, and the final bug.
+func (pl *Pipeline) RenderTrace(b *Bug, tr *dataplane.Trace) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "counterexample for %s\n", b.Description())
+
+	// Input summary: ingress port + extracted header fields with nonzero
+	// model values.
+	if v, ok := tr.State["smeta.ingress_port"]; ok {
+		fmt.Fprintf(&sb, "  input: ingress_port=%v\n", v)
+	}
+
+	for _, n := range tr.Nodes {
+		switch n.Kind {
+		case ir.AssertPoint:
+			inst := n.Instance
+			hit := tr.State[inst.HitVar.Name]
+			if hit != nil && hit.Sign() != 0 {
+				actName := "?"
+				if av := tr.State[inst.ActVar.Name]; av != nil {
+					for name, idx := range inst.ActIndex {
+						if int64(idx) == av.Int64() {
+							actName = name
+						}
+					}
+				}
+				fmt.Fprintf(&sb, "  table %s: HIT -> action %s", inst.Table.Name, actName)
+				for j, kv := range inst.KeyVars {
+					val := tr.State[kv.Name]
+					if val == nil {
+						continue // unconstrained by the model
+					}
+					fmt.Fprintf(&sb, " [%s=%v", inst.Table.Keys[j].Path, val)
+					if inst.MaskVars[j] != nil {
+						if mv := tr.State[inst.MaskVars[j].Name]; mv != nil {
+							fmt.Fprintf(&sb, "/&%v", mv)
+						}
+					}
+					sb.WriteString("]")
+				}
+				sb.WriteString("\n")
+			} else {
+				fmt.Fprintf(&sb, "  table %s: miss -> default %s\n", inst.Table.Name, inst.Table.Default.Name)
+			}
+		case ir.BugTerm:
+			pos := ""
+			if n.Pos.IsValid() {
+				pos = fmt.Sprintf(" at %s", n.Pos)
+			}
+			fmt.Fprintf(&sb, "  ** BUG [%s]%s: %s\n", n.Bug, pos, n.Comment)
+		}
+	}
+	fmt.Fprintf(&sb, "  (%d execution steps)\n", len(tr.Nodes))
+	return sb.String()
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterexampleAndRender(t *testing.T) {
+	pl := compileNAT(t)
+	rep := pl.FindBugs()
+	rendered := 0
+	for _, b := range rep.Bugs {
+		if !b.Reachable {
+			continue
+		}
+		tr, err := pl.Counterexample(b)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Description(), err)
+		}
+		out := pl.RenderTrace(b, tr)
+		if !strings.Contains(out, "** BUG") {
+			t.Fatalf("render lacks bug marker:\n%s", out)
+		}
+		if !strings.Contains(out, "counterexample for") {
+			t.Fatalf("render lacks header:\n%s", out)
+		}
+		rendered++
+	}
+	if rendered == 0 {
+		t.Fatal("nothing rendered")
+	}
+}
+
+func TestCounterexampleRejectsUnreachable(t *testing.T) {
+	pl := compileNAT(t)
+	rep := pl.FindBugs()
+	for _, b := range rep.Bugs {
+		if b.Reachable {
+			continue
+		}
+		if _, err := pl.Counterexample(b); err == nil {
+			t.Fatal("counterexample produced for unreachable bug")
+		}
+		return
+	}
+	t.Skip("no unreachable bugs in this program")
+}

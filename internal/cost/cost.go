@@ -1,0 +1,100 @@
+// Package cost models hardware pipeline stage usage (paper §3): on
+// match-action targets every table occupies a stage, and control-flow
+// added by inline guard instrumentation ("if (!valid) bug()") costs
+// additional stages. bf4's motivating claim is that instrumenting the
+// simple NAT with inline guards doubles its stage count (making large
+// programs undeployable), while bf4's fix — adding table keys — costs
+// zero extra stages, only wider match words.
+package cost
+
+import (
+	"bf4/internal/ir"
+)
+
+// Stages estimates stage usage for deployment variants.
+type Stages struct {
+	// Original is the longest table chain of the unmodified program.
+	Original int
+	// WithGuards is the stage count if every instrumented check became a
+	// dataplane guard (the rejected alternative of §3).
+	WithGuards int
+	// WithKeys is the stage count after bf4's key-addition fix: identical
+	// to Original, since keys only widen match words.
+	WithKeys int
+	// ExtraMatchBits is the total key width added by fixes (the paper's
+	// "<1 bit per rule on average" metric input).
+	ExtraMatchBits int
+	// TotalKeyBits is the total match width across all tables.
+	TotalKeyBits int
+}
+
+// Estimate computes the stage model over a lowered program. Longest paths
+// are computed over the acyclic CFG; tables weigh one stage, and in the
+// guarded variant each bug-check branch weighs one more.
+func Estimate(p *ir.Program) Stages {
+	var s Stages
+	s.Original = longestPath(p, func(n *ir.Node) int {
+		if n.Kind == ir.AssertPoint {
+			return 1
+		}
+		return 0
+	})
+	s.WithGuards = longestPath(p, func(n *ir.Node) int {
+		switch {
+		case n.Kind == ir.AssertPoint:
+			return 1
+		case n.Kind == ir.Branch && isBugCheck(n):
+			return 1
+		}
+		return 0
+	})
+	s.WithKeys = s.Original
+	for _, t := range p.Tables {
+		for _, k := range t.Keys {
+			s.TotalKeyBits += k.Width
+			if k.Synthesized {
+				s.ExtraMatchBits += k.Width
+			}
+		}
+	}
+	return s
+}
+
+// isBugCheck recognizes instrumentation branches (true side terminates in
+// a bug node, possibly through a nop).
+func isBugCheck(n *ir.Node) bool {
+	if len(n.Succs) != 2 {
+		return false
+	}
+	t := n.Succs[0]
+	for i := 0; i < 3 && t != nil; i++ {
+		if t.Kind == ir.BugTerm {
+			return true
+		}
+		if t.Kind != ir.Nop || len(t.Succs) != 1 {
+			return false
+		}
+		t = t.Succs[0]
+	}
+	return false
+}
+
+// longestPath computes the maximum node-weight sum over root-to-leaf
+// paths of the acyclic CFG.
+func longestPath(p *ir.Program, weight func(*ir.Node) int) int {
+	topo := p.Topo()
+	dist := make(map[*ir.Node]int, len(topo))
+	best := 0
+	for _, n := range topo {
+		d := dist[n] + weight(n)
+		if d > best {
+			best = d
+		}
+		for _, succ := range n.Succs {
+			if d > dist[succ] {
+				dist[succ] = d
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,383 @@
+// Package dataplane is a concrete interpreter for bf4's expanded IR — the
+// reproduction's software switch. It runs in two modes:
+//
+//   - Snapshot mode: execute a packet against a concrete snapshot (table
+//     entries + default actions), performing real exact/ternary/lpm
+//     matching at every table instance. This is the execution substrate
+//     for the examples, the shim's end-to-end tests and the Vera-style
+//     baseline (which symbolically or concretely explores snapshots).
+//
+//   - Replay mode: execute under a solver model (an smt.Env from a
+//     reachability check), with havoc nodes reading the model's values for
+//     their SSA versions. Replay of a bug's model must terminate at that
+//     bug node — the repository's strongest cross-validation of the
+//     verifier against operational semantics.
+package dataplane
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"bf4/internal/ir"
+	"bf4/internal/smt"
+	"bf4/internal/ssa"
+)
+
+// Entry is one concrete table entry.
+type Entry struct {
+	// Keys holds one match per table key, in key order.
+	Keys []KeyMatch
+	// Action names the action to run on hit; Params are its arguments.
+	Action string
+	Params []*big.Int
+	// Priority breaks ties for ternary matches (higher wins); insertion
+	// order breaks remaining ties.
+	Priority int
+}
+
+// KeyMatch is a concrete match for one key.
+type KeyMatch struct {
+	Value *big.Int
+	// Mask applies to ternary matches (nil = exact full match).
+	Mask *big.Int
+	// PrefixLen applies to lpm keys (-1 for non-lpm).
+	PrefixLen int
+}
+
+// NewExact returns an exact key match.
+func NewExact(v int64) KeyMatch {
+	return KeyMatch{Value: big.NewInt(v), PrefixLen: -1}
+}
+
+// NewTernary returns a ternary key match.
+func NewTernary(v, mask int64) KeyMatch {
+	return KeyMatch{Value: big.NewInt(v), Mask: big.NewInt(mask), PrefixLen: -1}
+}
+
+// NewLpm returns an lpm key match with the given prefix length.
+func NewLpm(v int64, prefixLen int) KeyMatch {
+	return KeyMatch{Value: big.NewInt(v), PrefixLen: prefixLen}
+}
+
+// DefaultAction overrides a table's default action at runtime.
+type DefaultAction struct {
+	Action string
+	Params []*big.Int
+}
+
+// Snapshot is a concrete rule state: the paper's "P4 program together
+// with all its active table entries".
+type Snapshot struct {
+	Entries  map[string][]*Entry
+	Defaults map[string]*DefaultAction
+}
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Entries:  map[string][]*Entry{},
+		Defaults: map[string]*DefaultAction{},
+	}
+}
+
+// Insert appends an entry to a table.
+func (s *Snapshot) Insert(table string, e *Entry) {
+	s.Entries[table] = append(s.Entries[table], e)
+}
+
+// Packet supplies concrete values for havocked inputs: extracted header
+// fields (by field variable name), register reads, hash results. Missing
+// names default to zero.
+type Packet map[string]*big.Int
+
+// SetField sets a field value, e.g. pkt.SetField("hdr.ipv4.ttl", 64).
+func (p Packet) SetField(name string, v int64) { p[name] = big.NewInt(v) }
+
+// Trace is the outcome of one execution.
+type Trace struct {
+	Terminal *ir.Node
+	Nodes    []*ir.Node
+	// State is the final variable valuation.
+	State smt.Env
+	// Matched records, per visited table instance, the matched entry
+	// index (-1 for miss).
+	Matched map[*ir.TableInstance]int
+}
+
+// Bug reports whether the trace ended in a bug.
+func (t *Trace) Bug() bool { return t.Terminal != nil && t.Terminal.Kind == ir.BugTerm }
+
+// EgressSpec returns the final egress_spec value (or -1).
+func (t *Trace) EgressSpec() int64 {
+	if v, ok := t.State["smeta.egress_spec"]; ok {
+		return v.Int64()
+	}
+	return -1
+}
+
+// Summary renders a compact trace description.
+func (t *Trace) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d steps -> %s", len(t.Nodes), t.Terminal)
+	return b.String()
+}
+
+// Interp executes the expanded IR.
+type Interp struct {
+	P *ir.Program
+	// Snapshot enables snapshot mode (real matching at assert points).
+	Snapshot *Snapshot
+	// Model enables replay mode; Pass must be set so havoc nodes can look
+	// up their SSA version's value in the model.
+	Model smt.Env
+	Pass  *ssa.Result
+	// Inputs preloads version-0 variables (ingress_port etc.) in
+	// snapshot mode.
+	Inputs Packet
+	// MaxSteps bounds execution (default 1 << 20).
+	MaxSteps int
+}
+
+// Run executes one packet.
+func (ip *Interp) Run() (*Trace, error) {
+	limit := ip.MaxSteps
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	state := smt.Env{}
+	// Seed version-0 values.
+	if ip.Model != nil {
+		for _, v := range ip.P.VarList() {
+			if mv, ok := ip.Model[v.Name]; ok {
+				state[v.Name] = mv
+			}
+		}
+	}
+	for name, v := range ip.Inputs {
+		state[name] = v
+	}
+	tr := &Trace{Matched: map[*ir.TableInstance]int{}}
+	n := ip.P.Start
+	for steps := 0; ; steps++ {
+		if steps > limit {
+			return nil, fmt.Errorf("dataplane: execution exceeded %d steps", limit)
+		}
+		tr.Nodes = append(tr.Nodes, n)
+		switch n.Kind {
+		case ir.BugTerm, ir.AcceptTerm, ir.RejectTerm, ir.UnreachTerm:
+			tr.Terminal = n
+			tr.State = state
+			return tr, nil
+		case ir.Assign:
+			state[n.Var.Name] = smt.Eval(n.Expr, state)
+		case ir.Havoc:
+			state[n.Var.Name] = ip.havocValue(n)
+		case ir.Branch:
+			if len(n.Succs) != 2 {
+				return nil, fmt.Errorf("dataplane: malformed branch n%d", n.ID)
+			}
+			if smt.EvalBool(n.Expr, state) {
+				n = n.Succs[0]
+			} else {
+				n = n.Succs[1]
+			}
+			continue
+		case ir.AssertPoint:
+			if ip.Snapshot != nil {
+				ip.applyTable(n.Instance, state, tr)
+			}
+		}
+		if len(n.Succs) == 0 {
+			tr.Terminal = n
+			tr.State = state
+			return tr, nil
+		}
+		n = n.Succs[0]
+	}
+}
+
+var bigZero = new(big.Int)
+
+func (ip *Interp) havocValue(n *ir.Node) *big.Int {
+	// Replay mode: the model assigns the SSA version this havoc created.
+	if ip.Model != nil && ip.Pass != nil {
+		if t, ok := ip.Pass.HavocTerm[n]; ok {
+			if v, ok := ip.Model[t.Name()]; ok {
+				return v
+			}
+		}
+	}
+	// Snapshot mode: packet content by destination variable name.
+	if ip.Inputs != nil {
+		if v, ok := ip.Inputs[n.Var.Name]; ok {
+			return v
+		}
+	}
+	return bigZero
+}
+
+// applyTable performs concrete matching and writes the chosen entry into
+// the instance's control variables, so the expansion's branches replay
+// the decision consistently.
+func (ip *Interp) applyTable(inst *ir.TableInstance, state smt.Env, tr *Trace) {
+	t := inst.Table
+	keyVals := make([]*big.Int, len(inst.KeyTerms))
+	for j, kt := range inst.KeyTerms {
+		if kt != nil {
+			keyVals[j] = smt.Eval(kt, state)
+		} else {
+			keyVals[j] = bigZero
+		}
+	}
+	entries := ip.Snapshot.Entries[t.Name]
+	matchIdx := -1
+	bestScore := -1
+	for i, e := range entries {
+		score, ok := matchEntry(t, e, keyVals)
+		if !ok {
+			continue
+		}
+		// lpm: longest prefix wins; ternary: priority wins; first match
+		// breaks ties.
+		if score > bestScore {
+			bestScore = score
+			matchIdx = i
+		}
+	}
+	tr.Matched[inst] = matchIdx
+	f := ip.P.F
+	_ = f
+	if matchIdx >= 0 {
+		e := entries[matchIdx]
+		state.SetBool(inst.HitVar.Name, true)
+		idx, ok := inst.ActIndex[e.Action]
+		if !ok {
+			idx = 0
+		}
+		state.SetUint64(inst.ActVar.Name, uint64(idx))
+		for j := range inst.KeyVars {
+			if j < len(e.Keys) {
+				state[inst.KeyVars[j].Name] = e.Keys[j].Value
+				if inst.MaskVars[j] != nil {
+					state[inst.MaskVars[j].Name] = effectiveMask(t.Keys[j], e.Keys[j])
+				}
+			}
+		}
+		for pi, pv := range inst.ParamVars[e.Action] {
+			if pi < len(e.Params) {
+				state[pv.Name] = e.Params[pi]
+			} else {
+				state[pv.Name] = bigZero
+			}
+		}
+	} else {
+		state.SetBool(inst.HitVar.Name, false)
+		if d := ip.Snapshot.Defaults[t.Name]; d != nil {
+			// Default-action override: expansion runs the declared
+			// default's body, so overrides are limited to parameter
+			// values of the declared default.
+			for pi, pv := range inst.DefaultParamVars {
+				if pi < len(d.Params) {
+					state[pv.Name] = d.Params[pi]
+				}
+			}
+		} else {
+			for _, pv := range inst.DefaultParamVars {
+				state[pv.Name] = bigZero
+			}
+		}
+	}
+}
+
+// matchEntry reports whether the key values match the entry, returning a
+// score for winner selection (lpm prefix length dominates; then
+// priority).
+func matchEntry(t *ir.Table, e *Entry, keyVals []*big.Int) (score int, ok bool) {
+	score = e.Priority
+	for j, k := range t.Keys {
+		if j >= len(e.Keys) {
+			return 0, false
+		}
+		km := e.Keys[j]
+		kv := keyVals[j]
+		switch k.MatchKind {
+		case "exact":
+			if kv.Cmp(km.Value) != 0 {
+				return 0, false
+			}
+		case "ternary":
+			mask := km.Mask
+			if mask == nil {
+				mask = maskOnes(k.Width)
+			}
+			a := new(big.Int).And(kv, mask)
+			b := new(big.Int).And(km.Value, mask)
+			if a.Cmp(b) != 0 {
+				return 0, false
+			}
+		case "lpm":
+			plen := km.PrefixLen
+			if plen < 0 {
+				plen = k.Width
+			}
+			mask := prefixMask(k.Width, plen)
+			a := new(big.Int).And(kv, mask)
+			b := new(big.Int).And(km.Value, mask)
+			if a.Cmp(b) != 0 {
+				return 0, false
+			}
+			score += plen * 1000 // prefix length dominates priority
+		}
+	}
+	return score, true
+}
+
+func maskOnes(w int) *big.Int {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	return m.Sub(m, big.NewInt(1))
+}
+
+func prefixMask(w, plen int) *big.Int {
+	if plen >= w {
+		return maskOnes(w)
+	}
+	ones := new(big.Int).Lsh(big.NewInt(1), uint(plen))
+	ones.Sub(ones, big.NewInt(1))
+	return ones.Lsh(ones, uint(w-plen))
+}
+
+// EffectiveMaskFor converts an entry's key match into the mask value the
+// expansion's mask variable expects (ternary mask, lpm prefix mask, or
+// all-ones for exact).
+func EffectiveMaskFor(k *ir.KeyInfo, km KeyMatch) *big.Int {
+	return effectiveMask(k, km)
+}
+
+// effectiveMask converts an entry's key match into the mask value the
+// expansion's mask variable expects.
+func effectiveMask(k *ir.KeyInfo, km KeyMatch) *big.Int {
+	switch k.MatchKind {
+	case "ternary":
+		if km.Mask != nil {
+			return km.Mask
+		}
+		return maskOnes(k.Width)
+	case "lpm":
+		plen := km.PrefixLen
+		if plen < 0 {
+			plen = k.Width
+		}
+		return prefixMask(k.Width, plen)
+	default:
+		return maskOnes(k.Width)
+	}
+}
+
+// SortEntriesByPriority orders a table's entries with highest priority
+// first (useful for deterministic iteration in tests and the shim).
+func (s *Snapshot) SortEntriesByPriority(table string) {
+	es := s.Entries[table]
+	sort.SliceStable(es, func(i, j int) bool { return es[i].Priority > es[j].Priority })
+}

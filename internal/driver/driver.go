@@ -1,0 +1,286 @@
+// Package driver orchestrates bf4's complete compile-time loop (paper
+// Figure 3): find all potential bugs, infer controller annotations,
+// propose fixes (missing keys + the egress-spec special case), rebuild
+// the program with the fixes applied and re-infer, producing exactly the
+// quantities reported in the paper's Table 1 — total bugs, bugs remaining
+// after Infer, bugs remaining after fixes, keys added — plus the final
+// annotations for the runtime shim and the fixed P4 source.
+package driver
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bf4/internal/core"
+	"bf4/internal/fixes"
+	"bf4/internal/infer"
+	"bf4/internal/ir"
+	"bf4/internal/p4/ast"
+	"bf4/internal/p4/parser"
+	"bf4/internal/p4/types"
+)
+
+// Config selects pipeline options for a run.
+type Config struct {
+	IR    ir.Options
+	Infer infer.Options
+	// Slicing enables bug-reachability slicing (paper default: on).
+	Slicing bool
+}
+
+// DefaultConfig matches the paper's configuration.
+func DefaultConfig() Config {
+	return Config{IR: ir.DefaultOptions(), Infer: infer.DefaultOptions(), Slicing: true}
+}
+
+// Result is one full bf4 run over a program (one Table 1 row).
+type Result struct {
+	Name string
+	LoC  int
+
+	// Bugs is the number of reachable bugs assuming arbitrary entries.
+	Bugs int
+	// BugsAfterInfer counts bugs still reachable under the inferred
+	// single/multi-table annotations.
+	BugsAfterInfer int
+	// BugsAfterFixes counts bugs still reachable after adding the
+	// proposed keys (and applying the egress-spec special fix) and
+	// re-running inference — genuine dataplane bugs.
+	BugsAfterFixes int
+	// KeysAdded and TablesTouched quantify the fix (Table 1 / §5).
+	KeysAdded     int
+	TablesTouched int
+
+	Runtime time.Duration
+
+	// Artifacts.
+	Initial     *core.Pipeline
+	Fixed       *core.Pipeline // nil when no fixes were needed
+	InitialRep  *core.Report
+	InferResult *infer.Result
+	FinalInfer  *infer.Result // inference on the fixed program
+	Fixes       *fixes.Result
+	FixedSource string // fixed P4 program (empty when no fixes)
+	Dataplane   []*core.Bug
+}
+
+// Run executes the full bf4 loop on a program.
+func Run(name, src string, cfg Config) (*Result, error) {
+	start := time.Now()
+	res := &Result{Name: name, LoC: countLoC(src)}
+
+	pl, err := core.Compile(src, cfg.IR, cfg.Slicing)
+	if err != nil {
+		return nil, err
+	}
+	res.Initial = pl
+	rep := pl.FindBugs()
+	res.InitialRep = rep
+	res.Bugs = rep.NumReachable()
+
+	inf := infer.Run(pl, rep, cfg.Infer)
+	res.InferResult = inf
+	res.BugsAfterInfer = len(inf.Uncontrolled)
+
+	fx := fixes.Run(pl, inf.Uncontrolled)
+	res.Fixes = fx
+	res.KeysAdded = fx.TotalKeys()
+	res.TablesTouched = fx.TablesTouched()
+
+	if res.KeysAdded == 0 && len(fx.Special) == 0 {
+		res.BugsAfterFixes = res.BugsAfterInfer
+		res.Dataplane = inf.Uncontrolled
+		res.FinalInfer = inf
+		res.Runtime = time.Since(start)
+		return res, nil
+	}
+
+	// Rebuild with the fixes applied, re-find, re-infer, and repeat while
+	// new fixes keep appearing (Figure 3's loop back from "fixes" to
+	// "infer predicates"; the corpus converges in one round, but nothing
+	// guarantees that in general).
+	allKeys := mergeKeys(cfg.IR.ExtraKeys, fx.Keys)
+	egressFix := len(fx.Special) > 0
+	const maxRounds = 3
+	for round := 0; round < maxRounds; round++ {
+		opts2 := cfg.IR
+		opts2.ExtraKeys = allKeys
+		opts2.InitEgressSpecDrop = opts2.InitEgressSpecDrop || egressFix
+		pl2, err := core.Compile(src, opts2, cfg.Slicing)
+		if err != nil {
+			return nil, fmt.Errorf("rebuild with fixes: %w", err)
+		}
+		res.Fixed = pl2
+		rep2 := pl2.FindBugs()
+		inf2 := infer.Run(pl2, rep2, cfg.Infer)
+		res.FinalInfer = inf2
+		res.BugsAfterFixes = len(inf2.Uncontrolled)
+		res.Dataplane = inf2.Uncontrolled
+		if res.BugsAfterFixes == 0 {
+			break
+		}
+		fx2 := fixes.Run(pl2, inf2.Uncontrolled)
+		newKeys := 0
+		for t, ks := range fx2.Keys {
+			have := map[string]bool{}
+			for _, k := range allKeys[t] {
+				have[k] = true
+			}
+			for _, k := range ks {
+				if !have[k] {
+					allKeys[t] = append(allKeys[t], k)
+					res.Fixes.Keys[t] = append(res.Fixes.Keys[t], k)
+					newKeys++
+				}
+			}
+		}
+		if len(fx2.Special) > 0 && !egressFix {
+			egressFix = true
+			res.Fixes.Special = append(res.Fixes.Special, fx2.Special...)
+			newKeys++
+		}
+		if newKeys == 0 {
+			break // only genuine dataplane bugs remain
+		}
+		res.KeysAdded = res.Fixes.TotalKeys()
+		res.TablesTouched = res.Fixes.TablesTouched()
+	}
+
+	if fixedSrc, err := RewriteSource(src, pl.Info, res.Fixes); err == nil {
+		res.FixedSource = fixedSrc
+	}
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+func mergeKeys(a, b map[string][]string) map[string][]string {
+	out := map[string][]string{}
+	for t, ks := range a {
+		out[t] = append(out[t], ks...)
+	}
+	for t, ks := range b {
+		out[t] = append(out[t], ks...)
+	}
+	return out
+}
+
+func countLoC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t != "" && !strings.HasPrefix(t, "//") {
+			n++
+		}
+	}
+	return n
+}
+
+// RewriteSource produces the fixed P4 program: the proposed keys are
+// appended to their tables (translated from canonical paths back to each
+// control's parameter names) and re-printed.
+func RewriteSource(src string, info *types.Info, fx *fixes.Result) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	info2, err := types.Check(prog)
+	if err != nil {
+		return "", err
+	}
+	for _, d := range prog.Decls {
+		ctl, ok := d.(*ast.ControlDecl)
+		if !ok {
+			continue
+		}
+		inverse := roleInverse(info2, ctl)
+		for _, l := range ctl.Locals {
+			td, ok := l.(*ast.TableDecl)
+			if !ok {
+				continue
+			}
+			for _, keyPath := range fx.Keys[td.Name] {
+				expr, err := keyExprFor(keyPath, inverse)
+				if err != nil {
+					continue
+				}
+				td.Keys = append(td.Keys, &ast.TableKey{Expr: expr, MatchKind: "exact"})
+			}
+		}
+	}
+	out := ast.Print(prog)
+	if len(fx.Special) > 0 {
+		out = "// bf4: " + strings.Join(fx.Special, "\n// bf4: ") + "\n" + out
+	}
+	return out, nil
+}
+
+// roleInverse maps canonical prefixes (hdr/meta/smeta) back to the
+// control's parameter names.
+func roleInverse(info *types.Info, ctl *ast.ControlDecl) map[string]string {
+	inv := map[string]string{}
+	var headersStruct, metaStruct *ast.StructDecl
+	if info.Pipeline.Parser != nil {
+		for _, p := range info.Pipeline.Parser.Params {
+			if st, ok := info.ResolveType(p.Type).(*types.StructT); ok {
+				switch {
+				case st.Decl.Name == "standard_metadata_t":
+				case p.Dir == "out":
+					headersStruct = st.Decl
+				case metaStruct == nil:
+					metaStruct = st.Decl
+				}
+			}
+		}
+	}
+	for _, p := range ctl.Params {
+		st, ok := info.ResolveType(p.Type).(*types.StructT)
+		if !ok {
+			continue
+		}
+		switch {
+		case st.Decl.Name == "standard_metadata_t":
+			inv["smeta"] = p.Name
+		case st.Decl == headersStruct:
+			inv["hdr"] = p.Name
+		case st.Decl == metaStruct:
+			inv["meta"] = p.Name
+		default:
+			inv[p.Name] = p.Name
+		}
+	}
+	return inv
+}
+
+// keyExprFor parses a canonical key path and rewrites its root to the
+// control's parameter name.
+func keyExprFor(path string, inverse map[string]string) (ast.Expr, error) {
+	e, err := parser.ParseExpr(path)
+	if err != nil {
+		return nil, err
+	}
+	rewriteRoot(e, inverse)
+	return e, nil
+}
+
+func rewriteRoot(e ast.Expr, inverse map[string]string) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if repl, ok := inverse[x.Name]; ok {
+			x.Name = repl
+		}
+	case *ast.Member:
+		rewriteRoot(x.X, inverse)
+	case *ast.IndexExpr:
+		rewriteRoot(x.X, inverse)
+	case *ast.CallExpr:
+		rewriteRoot(x.Fun, inverse)
+	}
+}
+
+// Summary renders a Table 1-style row.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%-24s LoC=%-5d bugs=%-3d afterInfer=%-3d afterFixes=%-3d keys=%-3d time=%s",
+		r.Name, r.LoC, r.Bugs, r.BugsAfterInfer, r.BugsAfterFixes, r.KeysAdded,
+		r.Runtime.Round(time.Millisecond))
+}

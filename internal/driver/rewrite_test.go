@@ -1,0 +1,70 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRewriteSourceRoleInversion: the fixed-source rewriter must express
+// synthesized keys in each control's own parameter names, not the
+// verifier's canonical hdr/meta/smeta roles.
+func TestRewriteSourceRoleInversion(t *testing.T) {
+	src := `
+header ipv4_t { bit<8> ttl; bit<32> dst; }
+struct user_meta { bit<32> nh; }
+struct parsed_headers { ipv4_t ipv4; }
+
+parser TheParser(packet_in b, out parsed_headers ph, inout user_meta um,
+                 inout standard_metadata_t sm) {
+    state start {
+        transition select(sm.ingress_port) {
+            9w1: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 { b.extract(ph.ipv4); transition accept; }
+}
+
+control TheIngress(inout parsed_headers headers_, inout user_meta md,
+                   inout standard_metadata_t sm) {
+    action drop_() { mark_to_drop(sm); }
+    action fwd(bit<9> p) {
+        headers_.ipv4.ttl = headers_.ipv4.ttl - 8w1;
+        sm.egress_spec = p;
+    }
+    table route {
+        key = { md.nh: exact; }
+        actions = { fwd; drop_; }
+        default_action = drop_();
+    }
+    apply { route.apply(); }
+}
+V1Switch(TheParser(), TheIngress()) main;
+`
+	res, err := Run("renamed", src, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KeysAdded == 0 {
+		t.Fatal("expected a validity key on route")
+	}
+	if res.FixedSource == "" {
+		t.Fatal("no fixed source")
+	}
+	// The ingress names its headers parameter "headers_": the synthesized
+	// key must use that name.
+	if !strings.Contains(res.FixedSource, "headers_.ipv4.isValid(): exact;") {
+		t.Fatalf("fixed source does not use the control's parameter name:\n%s", res.FixedSource)
+	}
+	if strings.Contains(res.FixedSource, "hdr.ipv4.isValid()") {
+		t.Fatal("canonical role name leaked into the fixed source")
+	}
+	// And it must verify clean when re-run.
+	res2, err := Run("renamed_fixed", res.FixedSource, DefaultConfig())
+	if err != nil {
+		t.Fatalf("fixed source broken: %v", err)
+	}
+	if res2.BugsAfterFixes != 0 {
+		t.Fatalf("fixed source still buggy: %s", res2.Summary())
+	}
+}

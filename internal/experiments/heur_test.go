@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+// TestHeuristicsFireOnGeneratedSwitch asserts E4/E5's qualitative claim:
+// the multi-table and dontCare heuristics each control bugs that the
+// baseline configuration cannot.
+func TestHeuristicsFireOnGeneratedSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: two full inference runs on the generated switch")
+	}
+	mt, err := MultiTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("multitable: base=%d with=%d (+%d) of %d", mt.Baseline, mt.WithHeuristic, mt.ExtraControlled, mt.TotalBugs)
+	if mt.ExtraControlled <= 0 {
+		t.Errorf("multi-table heuristic controlled nothing extra")
+	}
+	dc, err := DontCare(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dontcare: base=%d with=%d (+%d) of %d", dc.Baseline, dc.WithHeuristic, dc.ExtraControlled, dc.TotalBugs)
+	if dc.ExtraControlled <= 0 {
+		t.Errorf("dontCare heuristic controlled nothing extra")
+	}
+}

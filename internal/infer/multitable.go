@@ -1,0 +1,182 @@
+package infer
+
+import (
+	"bf4/internal/core"
+	"bf4/internal/ir"
+	"bf4/internal/smt"
+)
+
+// MultiTable implements the paper's multi-table heuristic (§4.2): when a
+// table t2 has bugs that single-table inference cannot control, and an
+// earlier table t1 whose apply dominates t2's and whose key set is a
+// subset of t2's exists, symbolic execution is restarted from t1's assert
+// point. Path conditions then mention both instances' control variables
+// — packets hitting an entry of t2 provably hit a specific entry shape of
+// t1 (keys are linked through the shared packet fields) — and wholly
+// controlled bug paths yield two-table assertions.
+func MultiTable(pl *core.Pipeline, uncontrolled []*core.Bug) []*Assertion {
+	byInstance := map[*ir.TableInstance][]*core.Bug{}
+	for _, b := range uncontrolled {
+		if b.Instance != nil {
+			byInstance[b.Instance] = append(byInstance[b.Instance], b)
+		}
+	}
+	var out []*Assertion
+	for _, t2 := range pl.IR.Instances {
+		if len(byInstance[t2]) == 0 {
+			continue
+		}
+		for _, t1 := range pl.IR.Instances {
+			if t1 == t2 || !pl.Doms.Dominates(t1.Apply, t2.Apply) {
+				continue
+			}
+			if !keysSubset(t1.Table, t2.Table) {
+				continue
+			}
+			a := fastInferLinked(pl, t1, t2)
+			if a != nil && len(a.Forbidden) > 0 {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// primeEnv seeds the symbolic environment with facts that hold on EVERY
+// run reaching the assert point: assignments whose node dominates it and
+// that are not clobbered by any later possible writer. This is what lets
+// the multi-table exploration know, e.g., that inner_ipv4 was invalidated
+// right before t1 (the paper's H.setInvalid(); t1.apply(); t2.apply()
+// pattern).
+func primeEnv(pl *core.Pipeline, ap *ir.Node) *env {
+	p := pl.IR
+	canReach := map[*ir.Node]bool{ap: true}
+	stack := []*ir.Node{ap}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pr := range n.Preds {
+			if !canReach[pr] {
+				canReach[pr] = true
+				stack = append(stack, pr)
+			}
+		}
+	}
+	var e *env
+	// Topological order respects edges, so for any path containing both a
+	// dominating writer and an off-path writer, the later one (in topo
+	// order) is processed later; off-path writers invalidate.
+	for _, n := range p.Topo() {
+		if n == ap {
+			break
+		}
+		if !canReach[n] {
+			continue
+		}
+		switch n.Kind {
+		case ir.Assign:
+			if pl.Doms.Dominates(n, ap) {
+				rhs := n.Expr
+				if e != nil {
+					m := map[*smt.Term]*smt.Term{}
+					for _, vt := range rhs.Vars(nil) {
+						if v := e.get(vt); v != nil && v != vt {
+							m[vt] = v
+						}
+					}
+					if len(m) > 0 {
+						rhs = smt.Substitute(p.F, rhs, m)
+					}
+				}
+				e = e.set(n.Var.Term, rhs)
+			} else {
+				e = e.set(n.Var.Term, n.Var.Term)
+			}
+		case ir.Havoc:
+			e = e.set(n.Var.Term, n.Var.Term)
+		}
+	}
+	return e
+}
+
+// containsConjunct reports whether pc (a conjunction) contains t as a
+// top-level conjunct.
+func containsConjunct(pc, t *smt.Term) bool {
+	if pc == t {
+		return true
+	}
+	if pc.Op() == smt.OpAnd {
+		for _, a := range pc.Args() {
+			if a == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// keysSubset reports whether every key path of t1 also appears in t2
+// (the paper's "keys of t2 are a superset of t1" condition).
+func keysSubset(t1, t2 *ir.Table) bool {
+	have := map[string]bool{}
+	for _, k := range t2.Keys {
+		have[k.Path] = true
+	}
+	for _, k := range t1.Keys {
+		if k.Path == "" || !have[k.Path] {
+			return false
+		}
+	}
+	return len(t1.Keys) > 0
+}
+
+// fastInferLinked runs the Fast-Infer executor from t1's assert point to
+// t2's join, with both instances' variables controlled; only bug paths
+// belonging to t2's region are kept.
+func fastInferLinked(pl *core.Pipeline, t1, t2 *ir.TableInstance) *Assertion {
+	controlled := controlledSet(t1)
+	for k := range controlledSet(t2) {
+		controlled[k] = true
+	}
+	ex := &symbex{
+		p:          pl.IR,
+		f:          pl.IR.F,
+		inst:       t2,
+		stop:       t2.Join,
+		controlled: controlled,
+		boundary:   t1.Apply.ID,
+	}
+	ex.run(t1.Apply, ex.f.True(), primeEnv(pl, t1.Apply))
+	a := &Assertion{Instance: t2, Linked: t1, Source: "multi-table"}
+	c1, c2 := controlledSet(t1), controlledSet(t2)
+	f := pl.IR.F
+	negHit1, negHit2 := f.Not(t1.HitVar.Term), f.Not(t2.HitVar.Term)
+	for _, pc := range ex.bugPCs {
+		if !termControlled(pl.IR, pc, controlled) {
+			continue
+		}
+		// A negated hit means the path relies on a table MISS, which is a
+		// property of the whole rule set — not of the (e1, e2) pair — so
+		// forbidding it would block rules with good runs.
+		if containsConjunct(pc, negHit1) || containsConjunct(pc, negHit2) {
+			continue
+		}
+		// Keep only conditions that genuinely link the two tables;
+		// single-table conditions are already covered by FastInfer.
+		var in1, in2 bool
+		for _, vt := range pc.Vars(nil) {
+			if c1[vt.Name()] {
+				in1 = true
+			}
+			if c2[vt.Name()] {
+				in2 = true
+			}
+		}
+		if in1 && in2 {
+			a.Forbidden = append(a.Forbidden, pc)
+		}
+	}
+	a.Forbidden = dedupeTerms(a.Forbidden)
+	return a
+}

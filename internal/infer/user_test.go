@@ -1,0 +1,69 @@
+package infer
+
+import (
+	"strings"
+	"testing"
+
+	"bf4/internal/solver"
+)
+
+func TestUserAssertionAccepted(t *testing.T) {
+	pl, _ := compileAndFind(t, natSrc)
+	// The paper's predicate, hand-written: a rule expecting an invalid
+	// ipv4 header must not match on srcAddr (nonzero ternary mask) —
+	// every packet hitting such a rule reads an invalid field.
+	a, err := UserAssertion(pl, "nat",
+		"(and |pcn_nat$0.hit| (= |pcn_nat$0.key0| (_ bv0 1)) (not (= |pcn_nat$0.mask1| (_ bv0 32))))")
+	if err != nil {
+		t.Fatalf("safe annotation rejected: %v", err)
+	}
+	if a.Source != "user" || len(a.Forbidden) != 1 {
+		t.Fatalf("assertion: %+v", a)
+	}
+}
+
+func TestUserAssertionUnsafe(t *testing.T) {
+	pl, _ := compileAndFind(t, natSrc)
+	// Forbidding every hit would block rules good runs need.
+	_, err := UserAssertion(pl, "nat", "|pcn_nat$0.hit|")
+	if err == nil {
+		t.Fatal("annotation that blocks all hits accepted")
+	}
+	if !strings.Contains(err.Error(), "unsafe") {
+		t.Fatalf("error: %v", err)
+	}
+}
+
+func TestUserAssertionBadInputs(t *testing.T) {
+	pl, _ := compileAndFind(t, natSrc)
+	if _, err := UserAssertion(pl, "nope", "true"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := UserAssertion(pl, "nat", "(and"); err == nil {
+		t.Fatal("malformed condition accepted")
+	}
+	// Conditions over non-control variables are rejected at parse time
+	// (the sort environment only contains the table's control variables).
+	if _, err := UserAssertion(pl, "nat", "|hdr.ipv4.ttl|"); err == nil {
+		t.Fatal("non-control variable accepted")
+	}
+}
+
+func TestUserAssertionComposesWithInference(t *testing.T) {
+	pl, rep := compileAndFind(t, natSrc)
+	res := Run(pl, rep, DefaultOptions())
+	a, err := UserAssertion(pl, "nat",
+		"(and |pcn_nat$0.hit| (= |pcn_nat$0.key0| (_ bv0 1)) (not (= |pcn_nat$0.mask1| (_ bv0 32))))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Assertions = append(res.Assertions, a)
+	// The combined predicate must still not remove good runs.
+	f := pl.IR.F
+	s := solver.New(f)
+	ok := f.And(pl.FullReach.OK, f.Not(pl.FullReach.DontCareReach))
+	s.Assert(f.And(ok, f.Not(res.CombinedPredicate(f))))
+	if got := s.Check(); got != solver.Unsat {
+		t.Fatalf("combined predicate removes good runs: %v", got)
+	}
+}

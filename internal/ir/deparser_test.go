@@ -1,0 +1,55 @@
+package ir
+
+import "testing"
+
+// TestDeparserEmissionCheck exercises the opt-in decapsulation-error
+// class: a header that can be valid on output but is never emitted.
+func TestDeparserEmissionCheck(t *testing.T) {
+	src := `
+header a_t { bit<8> x; }
+header b_t { bit<8> y; }
+struct headers { a_t a; b_t b; }
+struct metadata { bit<1> m; }
+parser P(packet_in pkt, out headers hdr, inout metadata meta,
+         inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.a);
+        transition select(hdr.a.x) {
+            8w1: parse_b;
+            default: accept;
+        }
+    }
+    state parse_b { pkt.extract(hdr.b); transition accept; }
+}
+control Ing(inout headers hdr, inout metadata meta,
+            inout standard_metadata_t smeta) {
+    apply { smeta.egress_spec = 9w1; }
+}
+control Eg(inout headers hdr, inout metadata meta,
+           inout standard_metadata_t smeta) { apply { } }
+control Dep(packet_out pkt, in headers hdr) {
+    apply { pkt.emit(hdr.a); }   // hdr.b is never emitted
+}
+V1Switch(P(), Ing(), Eg(), Dep()) main;
+`
+	opts := DefaultOptions()
+	opts.CheckDeparsedHeaders = true
+	p := buildSrc(t, src, opts)
+	found := false
+	for _, n := range p.Nodes {
+		if n.Kind == BugTerm && n.Bug == BugLiveHeaderNotEmitted {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing live-header-not-emitted bug for hdr.b")
+	}
+
+	// Off by default: no such nodes.
+	p2 := buildSrc(t, src, DefaultOptions())
+	for _, n := range p2.Nodes {
+		if n.Kind == BugTerm && n.Bug == BugLiveHeaderNotEmitted {
+			t.Fatal("deparser check instrumented despite being disabled")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanicsOnRandomInput: arbitrary byte soup must produce
+// errors, never panics.
+func TestParserNeverPanicsOnRandomInput(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", data, r)
+				ok = false
+			}
+		}()
+		Parse(string(data))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanicsOnMutatedSource: random mutations of a valid
+// program (deletions, swaps, truncations) must not panic either — this
+// exercises deep error-recovery paths plain noise never reaches.
+func TestParserNeverPanicsOnMutatedSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	base := miniNAT
+	for iter := 0; iter < 400; iter++ {
+		b := []byte(base)
+		switch iter % 4 {
+		case 0: // truncate
+			if len(b) > 1 {
+				b = b[:rng.Intn(len(b))]
+			}
+		case 1: // delete a span
+			if len(b) > 20 {
+				i := rng.Intn(len(b) - 10)
+				j := i + rng.Intn(10)
+				b = append(b[:i], b[j:]...)
+			}
+		case 2: // random byte flips
+			for k := 0; k < 5; k++ {
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			}
+		case 3: // duplicate a span
+			i := rng.Intn(len(b) / 2)
+			j := i + rng.Intn(len(b)/2)
+			b = append(b[:j], append([]byte(string(b[i:j])), b[j:]...)...)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("iter %d: panic: %v\ninput:\n%s", iter, r, b)
+				}
+			}()
+			Parse(string(b))
+		}()
+	}
+}
+
+// TestDeepNestingBounded: pathological nesting must not blow the stack.
+func TestDeepNestingBounded(t *testing.T) {
+	depth := 2000
+	expr := strings.Repeat("(", depth) + "x" + strings.Repeat(")", depth)
+	func() {
+		defer func() { recover() }()
+		ParseExpr(expr)
+	}()
+	// Deeply nested blocks in a control.
+	body := strings.Repeat("if (x == 8w0) { ", 500) + "y = 8w1;" + strings.Repeat(" }", 500)
+	src := "control c(inout bit<8> x, inout bit<8> y) { apply { " + body + " } }"
+	func() {
+		defer func() { recover() }()
+		Parse(src)
+	}()
+}

@@ -1,0 +1,379 @@
+// Package p4runtime implements a minimal P4Runtime-flavoured control
+// protocol over TCP with newline-delimited JSON framing. The server
+// embeds bf4's sanitization shim (paper §4.4): every table write is
+// validated against the inferred controller assertions before it reaches
+// the (simulated) dataplane; rejected updates return an exception to the
+// controller, exactly the failure mode the paper argues controllers
+// already handle (duplicate-rule errors). The server can also inject test
+// packets, executing them on the dataplane interpreter against the
+// current shadow snapshot.
+package p4runtime
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+
+	"bf4/internal/dataplane"
+	"bf4/internal/ir"
+	"bf4/internal/shim"
+)
+
+// KeyMatchMsg is the wire form of a key match. Values are decimal
+// strings (bitvector widths exceed int64).
+type KeyMatchMsg struct {
+	Value     string `json:"value"`
+	Mask      string `json:"mask,omitempty"`
+	PrefixLen *int   `json:"prefix_len,omitempty"`
+}
+
+// EntryMsg is the wire form of a table entry.
+type EntryMsg struct {
+	Keys     []KeyMatchMsg `json:"keys"`
+	Action   string        `json:"action"`
+	Params   []string      `json:"params,omitempty"`
+	Priority int           `json:"priority,omitempty"`
+}
+
+// Request is one controller→shim message.
+type Request struct {
+	ID     int64             `json:"id"`
+	Type   string            `json:"type"` // insert | set_default | validate | packet | stats
+	Table  string            `json:"table,omitempty"`
+	Entry  *EntryMsg         `json:"entry,omitempty"`
+	Packet map[string]string `json:"packet,omitempty"`
+}
+
+// Response is one shim→controller message.
+type Response struct {
+	ID    int64  `json:"id"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// Packet-injection results.
+	EgressSpec *int64 `json:"egress_spec,omitempty"`
+	Bug        bool   `json:"bug,omitempty"`
+	BugKind    string `json:"bug_kind,omitempty"`
+
+	// Stats results.
+	Validated int `json:"validated,omitempty"`
+	Rejected  int `json:"rejected,omitempty"`
+}
+
+func parseBig(s string) (*big.Int, error) {
+	if s == "" {
+		return big.NewInt(0), nil
+	}
+	v, ok := new(big.Int).SetString(s, 0)
+	if !ok {
+		return nil, fmt.Errorf("p4runtime: bad integer %q", s)
+	}
+	return v, nil
+}
+
+// DecodeEntry converts a wire entry to a dataplane entry.
+func DecodeEntry(m *EntryMsg) (*dataplane.Entry, error) {
+	e := &dataplane.Entry{Action: m.Action, Priority: m.Priority}
+	for _, km := range m.Keys {
+		v, err := parseBig(km.Value)
+		if err != nil {
+			return nil, err
+		}
+		dk := dataplane.KeyMatch{Value: v, PrefixLen: -1}
+		if km.Mask != "" {
+			mv, err := parseBig(km.Mask)
+			if err != nil {
+				return nil, err
+			}
+			dk.Mask = mv
+		}
+		if km.PrefixLen != nil {
+			dk.PrefixLen = *km.PrefixLen
+		}
+		e.Keys = append(e.Keys, dk)
+	}
+	for _, p := range m.Params {
+		v, err := parseBig(p)
+		if err != nil {
+			return nil, err
+		}
+		e.Params = append(e.Params, v)
+	}
+	return e, nil
+}
+
+// EncodeEntry converts a dataplane entry to wire form.
+func EncodeEntry(e *dataplane.Entry) *EntryMsg {
+	m := &EntryMsg{Action: e.Action, Priority: e.Priority}
+	for _, k := range e.Keys {
+		km := KeyMatchMsg{Value: k.Value.String()}
+		if k.Mask != nil {
+			km.Mask = k.Mask.String()
+		}
+		if k.PrefixLen >= 0 {
+			pl := k.PrefixLen
+			km.PrefixLen = &pl
+		}
+		m.Keys = append(m.Keys, km)
+	}
+	for _, p := range e.Params {
+		m.Params = append(m.Params, p.String())
+	}
+	return m
+}
+
+// Server runs the shim behind the wire protocol.
+type Server struct {
+	Shim *shim.Shim
+	// Prog, when set, enables packet injection against the shadow
+	// snapshot.
+	Prog *ir.Program
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	resp := &Response{ID: req.ID}
+	fail := func(err error) *Response {
+		resp.OK = false
+		resp.Error = err.Error()
+		return resp
+	}
+	switch req.Type {
+	case "insert", "validate":
+		if req.Entry == nil {
+			return fail(fmt.Errorf("p4runtime: missing entry"))
+		}
+		e, err := DecodeEntry(req.Entry)
+		if err != nil {
+			return fail(err)
+		}
+		u := &shim.Update{Table: req.Table, Entry: e}
+		if req.Type == "insert" {
+			err = s.Shim.Apply(u)
+		} else {
+			err = s.Shim.Validate(u)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case "set_default":
+		if req.Entry == nil {
+			return fail(fmt.Errorf("p4runtime: missing entry"))
+		}
+		e, err := DecodeEntry(req.Entry)
+		if err != nil {
+			return fail(err)
+		}
+		err = s.Shim.Apply(&shim.Update{
+			Table:      req.Table,
+			SetDefault: &dataplane.DefaultAction{Action: e.Action, Params: e.Params},
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case "packet":
+		if s.Prog == nil {
+			return fail(fmt.Errorf("p4runtime: packet injection not enabled"))
+		}
+		pkt := dataplane.Packet{}
+		for name, val := range req.Packet {
+			v, err := parseBig(val)
+			if err != nil {
+				return fail(err)
+			}
+			pkt[name] = v
+		}
+		interp := &dataplane.Interp{P: s.Prog, Snapshot: s.Shim.Snapshot(), Inputs: pkt}
+		tr, err := interp.Run()
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		spec := tr.EgressSpec()
+		resp.EgressSpec = &spec
+		if tr.Bug() {
+			resp.Bug = true
+			resp.BugKind = tr.Terminal.Bug.String()
+		}
+	case "stats":
+		st := s.Shim.Stats()
+		resp.OK = true
+		resp.Validated = st.Validated
+		resp.Rejected = st.Rejected
+	default:
+		return fail(fmt.Errorf("p4runtime: unknown request type %q", req.Type))
+	}
+	return resp
+}
+
+// Client is the controller side of the protocol.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	mu   sync.Mutex
+	next int64
+}
+
+// Dial connects to a shim server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req.ID = c.next
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("p4runtime: response id %d for request %d", resp.ID, req.ID)
+	}
+	return &resp, nil
+}
+
+// Insert adds a table entry; a *RejectionError-shaped error means the
+// shim refused it.
+func (c *Client) Insert(table string, e *dataplane.Entry) error {
+	resp, err := c.roundTrip(&Request{Type: "insert", Table: table, Entry: EncodeEntry(e)})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Error)
+	}
+	return nil
+}
+
+// Validate checks an entry without inserting it.
+func (c *Client) Validate(table string, e *dataplane.Entry) error {
+	resp, err := c.roundTrip(&Request{Type: "validate", Table: table, Entry: EncodeEntry(e)})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Error)
+	}
+	return nil
+}
+
+// SetDefault changes a table's default action.
+func (c *Client) SetDefault(table, action string, params []*big.Int) error {
+	e := &dataplane.Entry{Action: action, Params: params}
+	resp, err := c.roundTrip(&Request{Type: "set_default", Table: table, Entry: EncodeEntry(e)})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Error)
+	}
+	return nil
+}
+
+// PacketResult reports the outcome of an injected packet.
+type PacketResult struct {
+	EgressSpec int64
+	Bug        bool
+	BugKind    string
+}
+
+// SendPacket injects a packet (field name → value) into the dataplane.
+func (c *Client) SendPacket(fields map[string]int64) (*PacketResult, error) {
+	msg := map[string]string{}
+	for k, v := range fields {
+		msg[k] = fmt.Sprintf("%d", v)
+	}
+	resp, err := c.roundTrip(&Request{Type: "packet", Packet: msg})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	out := &PacketResult{Bug: resp.Bug, BugKind: resp.BugKind}
+	if resp.EgressSpec != nil {
+		out.EgressSpec = *resp.EgressSpec
+	}
+	return out, nil
+}
+
+// Stats fetches shim counters.
+func (c *Client) Stats() (validated, rejected int, err error) {
+	resp, err := c.roundTrip(&Request{Type: "stats"})
+	if err != nil {
+		return 0, 0, err
+	}
+	if !resp.OK {
+		return 0, 0, fmt.Errorf("%s", resp.Error)
+	}
+	return resp.Validated, resp.Rejected, nil
+}

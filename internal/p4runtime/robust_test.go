@@ -1,0 +1,124 @@
+package p4runtime
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"testing"
+
+	"bf4/internal/shim"
+	"bf4/internal/spec"
+)
+
+// startRawServer runs a server over a trivial single-table spec and
+// returns a raw connection for protocol-level testing.
+func startRawServer(t *testing.T) (net.Conn, func()) {
+	t.Helper()
+	file := &spec.File{
+		Program: "t",
+		Tables: []*spec.TableSchema{{
+			Name:   "t",
+			Prefix: "pcn_t$0",
+			Keys:   []spec.KeySchema{{Path: "x", MatchKind: "exact", Width: 8}},
+			Actions: []*spec.ActionSchema{
+				{Name: "NoAction", Index: 0},
+				{Name: "bad", Index: 1, Buggy: true},
+			},
+			Default: "NoAction",
+		}},
+	}
+	sh, err := shim.New(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Shim: sh}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, func() { conn.Close(); srv.Close() }
+}
+
+func roundTripRaw(t *testing.T, conn net.Conn, req string) *Response {
+	t.Helper()
+	if _, err := conn.Write([]byte(req + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp
+}
+
+func TestUnknownRequestType(t *testing.T) {
+	conn, stop := startRawServer(t)
+	defer stop()
+	resp := roundTripRaw(t, conn, `{"id":1,"type":"frobnicate"}`)
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("unknown request accepted: %+v", resp)
+	}
+	if resp.ID != 1 {
+		t.Fatalf("response id = %d", resp.ID)
+	}
+}
+
+func TestMissingEntry(t *testing.T) {
+	conn, stop := startRawServer(t)
+	defer stop()
+	resp := roundTripRaw(t, conn, `{"id":2,"type":"insert","table":"t"}`)
+	if resp.OK {
+		t.Fatal("insert without entry accepted")
+	}
+}
+
+func TestBadIntegerValue(t *testing.T) {
+	conn, stop := startRawServer(t)
+	defer stop()
+	resp := roundTripRaw(t, conn,
+		`{"id":3,"type":"insert","table":"t","entry":{"keys":[{"value":"zap"}],"action":"NoAction"}}`)
+	if resp.OK {
+		t.Fatal("bad integer accepted")
+	}
+}
+
+func TestPacketWithoutProgram(t *testing.T) {
+	conn, stop := startRawServer(t)
+	defer stop()
+	resp := roundTripRaw(t, conn, `{"id":4,"type":"packet","packet":{"x":"1"}}`)
+	if resp.OK {
+		t.Fatal("packet injection without a program accepted")
+	}
+}
+
+func TestBuggyDefaultRejectedOverWire(t *testing.T) {
+	conn, stop := startRawServer(t)
+	defer stop()
+	resp := roundTripRaw(t, conn,
+		`{"id":5,"type":"set_default","table":"t","entry":{"keys":[],"action":"bad"}}`)
+	if resp.OK {
+		t.Fatal("buggy default action accepted")
+	}
+	resp = roundTripRaw(t, conn,
+		`{"id":6,"type":"set_default","table":"t","entry":{"keys":[],"action":"NoAction"}}`)
+	if !resp.OK {
+		t.Fatalf("clean default rejected: %s", resp.Error)
+	}
+}
+
+func TestMalformedJSONClosesConnection(t *testing.T) {
+	conn, stop := startRawServer(t)
+	defer stop()
+	if _, err := conn.Write([]byte("{nope\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected the server to drop the connection on malformed JSON")
+	}
+}

@@ -1,0 +1,774 @@
+package progs
+
+func init() {
+	register(multiProtocol)
+	register(mplbRouter)
+	register(netchain)
+	register(netchain16)
+	register(simpleNat)
+	register(linearroad16)
+}
+
+// 07-MultiProtocol: the tutorial multi-protocol parser — a wide parse
+// graph where downstream tables touch conditionally-parsed headers
+// (Table 1: 2/2/0, 2 keys).
+var multiProtocol = &Program{
+	Name: "07-MultiProtocol",
+	Description: "tutorial multi-protocol pipeline (ethernet/ipv4/ipv6/" +
+		"tcp/udp); forwarding tables need validity keys",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header ipv6_t {
+    bit<8>   hopLimit;
+    bit<8>   nextHdr;
+    bit<128> srcAddr;
+    bit<128> dstAddr;
+}
+
+header tcp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+}
+
+header udp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+}
+
+struct metadata {
+    bit<16> l4_sport;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+    ipv6_t     ipv6;
+    tcp_t      tcp;
+    udp_t      udp;
+}
+
+parser MpParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            16w0x800:  parse_ipv4;
+            16w0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w6:  parse_tcp;
+            8w17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_ipv6 {
+        pkt.extract(hdr.ipv6);
+        transition select(hdr.ipv6.nextHdr) {
+            8w6:  parse_tcp;
+            8w17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        transition accept;
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition accept;
+    }
+}
+
+control MpIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action fwd_v4(bit<9> port) {
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+        smeta.egress_spec = port;
+    }
+    table ipv4_fwd {
+        key = {
+            hdr.ipv4.isValid(): exact;
+            hdr.ipv4.dstAddr: lpm;
+        }
+        actions = { fwd_v4; drop_; }
+        default_action = drop_();
+    }
+    action fwd_v6(bit<9> port) {
+        hdr.ipv6.hopLimit = hdr.ipv6.hopLimit - 8w1;
+        smeta.egress_spec = port;
+    }
+    table ipv6_fwd {
+        key = { hdr.ipv6.dstAddr: lpm; }
+        actions = { fwd_v6; drop_; }
+        default_action = drop_();
+    }
+    action save_sport() {
+        meta.l4_sport = hdr.tcp.srcPort;
+    }
+    table l4_table {
+        key = { smeta.ingress_port: exact; }
+        actions = { save_sport; NoAction; }
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            ipv4_fwd.apply();
+        } else {
+            ipv6_fwd.apply();
+        }
+        l4_table.apply();
+    }
+}
+
+control MpEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control MpDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.ipv6);
+        pkt.emit(hdr.tcp);
+        pkt.emit(hdr.udp);
+    }
+}
+
+V1Switch(MpParser(), MpIngress(), MpEgress(), MpDeparser()) main;
+`,
+}
+
+// mplb_router-ppc: the paper's example of a genuine dataplane bug — a
+// tcp header read inside an if condition that no prior table can rescue
+// (Table 1: 2/2/1, 0 keys).
+var mplbRouter = &Program{
+	Name: "mplb_router-ppc",
+	Description: "MPLB router; reads the tcp header in an if condition — " +
+		"a dataplane bug no key addition can control (paper §5)",
+	Expect: Expectation{MinBugs: 1, DataplaneBugs: 1},
+	Source: `
+header ipv4_t {
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header tcp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<8>  flags;
+}
+
+struct metadata {
+    bit<16> server_id;
+}
+
+struct headers {
+    ipv4_t ipv4;
+    tcp_t  tcp;
+}
+
+parser MlParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w6: parse_tcp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        transition accept;
+    }
+}
+
+control MlIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action to_server(bit<16> server, bit<9> port) {
+        meta.server_id = server;
+        smeta.egress_spec = port;
+    }
+    table server_select {
+        key = {
+            hdr.tcp.isValid(): exact;
+            hdr.tcp.dstPort: exact;
+        }
+        actions = { to_server; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        // Dataplane bug: hdr.tcp.flags is read before any table can
+        // constrain validity; no prior table is able to rescue it.
+        if (hdr.tcp.flags == 8w2) {
+            server_select.apply();
+        } else {
+            drop_();
+        }
+    }
+}
+
+control MlEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control MlDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.tcp);
+    }
+}
+
+V1Switch(MlParser(), MlIngress(), MlEgress(), MlDeparser()) main;
+`,
+}
+
+// netchain: in-network key-value store with sequence registers
+// (Table 1: 4/4/0, 5 keys).
+var netchain = &Program{
+	Name: "netchain",
+	Description: "NetChain replicated KV store; register-backed values " +
+		"indexed by header keys need bounding keys",
+	Expect: Expectation{MinBugs: 2, NeedsKeys: true},
+	Source: `
+header kv_t {
+    bit<16> op;
+    bit<32> kkey;
+    bit<32> value;
+    bit<16> seq;
+}
+
+header udp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+}
+
+struct metadata {
+    bit<32> stored;
+}
+
+struct headers {
+    udp_t udp;
+    kv_t  kv;
+}
+
+parser NcParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dstPort) {
+            16w9000: parse_kv;
+            default: accept;
+        }
+    }
+    state parse_kv {
+        pkt.extract(hdr.kv);
+        transition accept;
+    }
+}
+
+control NcIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<32>>(1024) store;
+    register<bit<16>>(1024) seqs;
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action kv_read(bit<9> reply_port) {
+        store.read(meta.stored, (bit<32>)hdr.kv.kkey);
+        hdr.kv.value = meta.stored;
+        smeta.egress_spec = reply_port;
+    }
+    action kv_write(bit<9> next_hop) {
+        store.write((bit<32>)hdr.kv.kkey, hdr.kv.value);
+        seqs.write((bit<32>)hdr.kv.kkey, hdr.kv.seq);
+        smeta.egress_spec = next_hop;
+    }
+    table chain {
+        key = {
+            hdr.kv.isValid(): exact;
+            hdr.kv.op: exact;
+        }
+        actions = { kv_read; kv_write; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        chain.apply();
+    }
+}
+
+control NcEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control NcDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.kv);
+    }
+}
+
+V1Switch(NcParser(), NcIngress(), NcEgress(), NcDeparser()) main;
+`,
+}
+
+// netchain_16: the P4-16 port with chain routing added
+// (Table 1: 6/6/0, 5 keys).
+var netchain16 = &Program{
+	Name: "netchain_16",
+	Description: "NetChain P4-16 port with chain routing; more tables, " +
+		"more fixable bugs",
+	Expect: Expectation{MinBugs: 2, NeedsKeys: true},
+	Source: `
+header kv_t {
+    bit<16> op;
+    bit<32> kkey;
+    bit<32> value;
+}
+
+header chain_t {
+    bit<8>  hops;
+    bit<32> next_node;
+}
+
+struct metadata {
+    bit<32> stored;
+}
+
+struct headers {
+    kv_t    kv;
+    chain_t chain;
+}
+
+parser Nc16Parser(packet_in pkt, out headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: parse_kv;
+            default: accept;
+        }
+    }
+    state parse_kv {
+        pkt.extract(hdr.kv);
+        transition select(hdr.kv.op) {
+            16w2: parse_chain;
+            default: accept;
+        }
+    }
+    state parse_chain {
+        pkt.extract(hdr.chain);
+        transition accept;
+    }
+}
+
+control Nc16Ingress(inout headers hdr, inout metadata meta,
+                    inout standard_metadata_t smeta) {
+    register<bit<32>>(512) store;
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action do_read(bit<9> port) {
+        store.read(meta.stored, (bit<32>)hdr.kv.kkey);
+        hdr.kv.value = meta.stored;
+        smeta.egress_spec = port;
+    }
+    action do_write() {
+        store.write((bit<32>)hdr.kv.kkey, hdr.kv.value);
+    }
+    table kv_ops {
+        key = {
+            hdr.kv.isValid(): exact;
+            hdr.kv.op: exact;
+        }
+        actions = { do_read; do_write; drop_; }
+        default_action = drop_();
+    }
+    action next_in_chain(bit<9> port) {
+        hdr.chain.hops = hdr.chain.hops - 8w1;
+        smeta.egress_spec = port;
+    }
+    table chain_route {
+        key = { hdr.chain.next_node: exact; }
+        actions = { next_in_chain; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        kv_ops.apply();
+        chain_route.apply();
+    }
+}
+
+control Nc16Egress(inout headers hdr, inout metadata meta,
+                   inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control Nc16Deparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.kv);
+        pkt.emit(hdr.chain);
+    }
+}
+
+V1Switch(Nc16Parser(), Nc16Ingress(), Nc16Egress(), Nc16Deparser()) main;
+`,
+}
+
+// simple_nat: the paper's running example (Figure 1), complete with the
+// faulty ternary key, the missing ipv4_lpm validity key, and the
+// egress-spec gap on the nat-hit/no-route path (Table 1: 7/2/0, 1 key).
+var simpleNat = &Program{
+	Name: "simple_nat",
+	Description: "the paper's running example: NAT with ternary key over " +
+		"a possibly-invalid header and a TTL decrement behind a " +
+		"validity-blind lpm table",
+	Expect: Expectation{MinBugs: 3, NeedsKeys: true, EgressSpecBug: true},
+	Source: `
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<8>  versionIhl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<16> fragOffset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header tcp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<32> seqNo;
+    bit<32> ackNo;
+    bit<16> window;
+}
+
+struct meta_t {
+    bit<1>  do_forward;
+    bit<32> ipv4_sa;
+    bit<32> ipv4_da;
+    bit<16> tcp_sp;
+    bit<16> tcp_dp;
+    bit<32> nhop_ipv4;
+    bit<1>  is_ext_if;
+}
+
+struct metadata {
+    meta_t meta;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+    tcp_t      tcp;
+}
+
+parser NatParser(packet_in pkt, out headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            16w0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w6: parse_tcp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        transition accept;
+    }
+}
+
+control NatIngress(inout headers hdr, inout metadata meta,
+                   inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action set_if_info(bit<1> is_ext) {
+        meta.meta.is_ext_if = is_ext;
+    }
+    table if_info {
+        key = { smeta.ingress_port: exact; }
+        actions = { set_if_info; drop_; }
+        default_action = drop_();
+    }
+    action nat_miss_int_to_ext() {
+        meta.meta.do_forward = 1w0;
+        smeta.egress_spec = 9w510;
+    }
+    action nat_miss_ext_to_int() {
+        // Paper §5.1 "egress spec not set": do_forward is cleared but no
+        // forwarding decision is made — the packet leaks to port 0.
+        meta.meta.do_forward = 1w0;
+    }
+    action nat_hit_int_to_ext(bit<32> srcAddr, bit<16> srcPort) {
+        meta.meta.do_forward = 1w1;
+        meta.meta.ipv4_sa = srcAddr;
+        meta.meta.tcp_sp = srcPort;
+    }
+    action nat_hit_ext_to_int(bit<32> dstAddr, bit<16> dstPort) {
+        meta.meta.do_forward = 1w1;
+        meta.meta.ipv4_da = dstAddr;
+        meta.meta.tcp_dp = dstPort;
+    }
+    table nat {
+        key = {
+            meta.meta.is_ext_if: exact;
+            hdr.ipv4.isValid(): exact;
+            hdr.tcp.isValid(): exact;
+            hdr.ipv4.srcAddr: ternary;
+            hdr.ipv4.dstAddr: ternary;
+            hdr.tcp.srcPort: ternary;
+            hdr.tcp.dstPort: ternary;
+        }
+        actions = {
+            nat_miss_int_to_ext;
+            nat_miss_ext_to_int;
+            nat_hit_int_to_ext;
+            nat_hit_ext_to_int;
+            drop_;
+        }
+        default_action = drop_();
+    }
+    action set_nhop(bit<32> nhop_ipv4, bit<9> port) {
+        meta.meta.nhop_ipv4 = nhop_ipv4;
+        smeta.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+    }
+    table ipv4_lpm {
+        key = { meta.meta.ipv4_da: lpm; }
+        actions = { set_nhop; drop_; }
+        default_action = drop_();
+    }
+    action set_dmac(bit<48> dmac) {
+        hdr.ethernet.dstAddr = dmac;
+    }
+    table forward {
+        key = { meta.meta.nhop_ipv4: exact; }
+        actions = { set_dmac; NoAction; }
+    }
+    apply {
+        if_info.apply();
+        nat.apply();
+        if (meta.meta.do_forward == 1w1) {
+            ipv4_lpm.apply();
+            forward.apply();
+        }
+    }
+}
+
+control NatEgress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action rewrite_src(bit<48> smac) {
+        hdr.ethernet.srcAddr = smac;
+    }
+    table send_frame {
+        key = { smeta.egress_port: exact; }
+        actions = { rewrite_src; NoAction; }
+    }
+    apply {
+        send_frame.apply();
+    }
+}
+
+control NatDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.tcp);
+    }
+}
+
+V1Switch(NatParser(), NatIngress(), NatEgress(), NatDeparser()) main;
+`,
+}
+
+// linearroad_16: the toll-road telemetry pipeline — the corpus's largest
+// hand-written program; many register-backed segments plus one genuine
+// dataplane bug (Table 1: 20/20/1, 20 keys).
+var linearroad16 = &Program{
+	Name: "linearroad_16",
+	Description: "Linear Road toll computation; many register-indexed " +
+		"tables needing keys plus one dataplane bug",
+	Expect: Expectation{MinBugs: 4, NeedsKeys: true, DataplaneBugs: 1},
+	Source: `
+header lr_t {
+    bit<8>  msg_type;
+    bit<16> time;
+    bit<32> vid;
+    bit<8>  spd;
+    bit<8>  xway;
+    bit<8>  lane;
+    bit<8>  dir;
+    bit<8>  seg;
+}
+
+header accident_t {
+    bit<8>  seg;
+    bit<16> time;
+}
+
+header toll_t {
+    bit<16> toll;
+    bit<32> balance;
+}
+
+struct metadata {
+    bit<32> seg_vol;
+    bit<32> seg_spd_sum;
+    bit<8>  has_accident;
+    bit<16> cur_toll;
+}
+
+struct headers {
+    lr_t       lr;
+    accident_t accident;
+    toll_t     toll;
+}
+
+parser LrParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: parse_lr;
+            default: accept;
+        }
+    }
+    state parse_lr {
+        pkt.extract(hdr.lr);
+        transition select(hdr.lr.msg_type) {
+            8w1: parse_accident;
+            8w2: parse_toll;
+            default: accept;
+        }
+    }
+    state parse_accident {
+        pkt.extract(hdr.accident);
+        transition accept;
+    }
+    state parse_toll {
+        pkt.extract(hdr.toll);
+        transition accept;
+    }
+}
+
+control LrIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<32>>(256) seg_volume;
+    register<bit<32>>(256) seg_speed;
+    register<bit<8>>(256) accidents;
+    register<bit<32>>(4096) balances;
+
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action update_volume() {
+        seg_volume.read(meta.seg_vol, (bit<32>)hdr.lr.seg);
+        seg_volume.write((bit<32>)hdr.lr.seg, meta.seg_vol + 32w1);
+    }
+    table volume {
+        key = { hdr.lr.dir: exact; }
+        actions = { update_volume; NoAction; }
+    }
+    action update_speed() {
+        seg_speed.read(meta.seg_spd_sum, (bit<32>)hdr.lr.seg);
+        seg_speed.write((bit<32>)hdr.lr.seg, meta.seg_spd_sum + (bit<32>)hdr.lr.spd);
+    }
+    table speed {
+        key = { hdr.lr.lane: exact; }
+        actions = { update_speed; NoAction; }
+    }
+    action record_accident() {
+        accidents.write((bit<32>)hdr.accident.seg, 8w1);
+        mark_to_drop(smeta);
+    }
+    table accident_table {
+        key = {
+            hdr.accident.isValid(): exact;
+            hdr.accident.seg: ternary;
+        }
+        actions = { record_accident; NoAction; }
+    }
+    action charge_toll(bit<16> base) {
+        meta.cur_toll = base;
+        balances.write((bit<32>)hdr.lr.vid, hdr.toll.balance + (bit<32>)base);
+        smeta.egress_spec = 9w1;
+    }
+    action waive() {
+        meta.cur_toll = 16w0;
+        smeta.egress_spec = 9w1;
+    }
+    table toll_table {
+        key = { meta.has_accident: exact; }
+        actions = { charge_toll; waive; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        volume.apply();
+        speed.apply();
+        accident_table.apply();
+        // Dataplane bug (paper: mplb-style): reads the accident header
+        // in a condition regardless of validity.
+        if (hdr.accident.time > 16w100) {
+            meta.has_accident = 8w1;
+        }
+        toll_table.apply();
+    }
+}
+
+control LrEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control LrDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.lr);
+        pkt.emit(hdr.accident);
+        pkt.emit(hdr.toll);
+    }
+}
+
+V1Switch(LrParser(), LrIngress(), LrEgress(), LrDeparser()) main;
+`,
+}

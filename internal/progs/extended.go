@@ -1,0 +1,381 @@
+package progs
+
+// Extended corpus: programs beyond the paper's Table 1 rows, exercising
+// subset corners the named programs don't reach (header-stack push,
+// stateful firewall registers, meter-style QoS, plain L3 routing). They
+// participate in All() and the corpus shape tests like every other entry.
+func init() {
+	register(basicRouting)
+	register(intTelemetry)
+	register(firewallStateful)
+	register(qosMeter)
+}
+
+var basicRouting = &Program{
+	Name: "basic_routing",
+	Description: "textbook L3 router (tutorial basic.p4): lpm route + " +
+		"dmac rewrite, validity-blind next-hop table needs one key",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct metadata {
+    bit<32> nhop;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+
+parser BrParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            16w0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control BrIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action set_nhop(bit<32> nhop) {
+        meta.nhop = nhop;
+    }
+    table ipv4_route {
+        key = {
+            hdr.ipv4.isValid(): exact;
+            hdr.ipv4.dstAddr: lpm;
+        }
+        actions = { set_nhop; drop_; }
+        default_action = drop_();
+    }
+    action rewrite_mac(bit<48> dmac, bit<9> port) {
+        hdr.ethernet.dstAddr = dmac;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+        smeta.egress_spec = port;
+    }
+    table next_hop {
+        key = { meta.nhop: exact; }
+        actions = { rewrite_mac; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        ipv4_route.apply();
+        next_hop.apply();
+    }
+}
+
+control BrEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control BrDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+V1Switch(BrParser(), BrIngress(), BrEgress(), BrDeparser()) main;
+`,
+}
+
+var intTelemetry = &Program{
+	Name: "int_telemetry",
+	Description: "in-band network telemetry: pushes per-hop metadata onto " +
+		"a header stack — exercises push_front overflow instrumentation",
+	Expect: Expectation{MinBugs: 1},
+	Source: `
+header int_shim_t {
+    bit<8> hops;
+    bit<8> maxHops;
+}
+
+header int_data_t {
+    bit<32> switchId;
+    bit<32> latency;
+}
+
+struct metadata {
+    bit<1> do_int;
+}
+
+struct headers {
+    int_shim_t       shim;
+    int_data_t[4]    stack;
+}
+
+parser IntParser(packet_in pkt, out headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: parse_shim;
+            default: accept;
+        }
+    }
+    state parse_shim {
+        pkt.extract(hdr.shim);
+        transition select(hdr.shim.hops) {
+            8w0: accept;
+            default: parse_one;
+        }
+    }
+    state parse_one {
+        pkt.extract(hdr.stack.next);
+        transition accept;
+    }
+}
+
+control IntIngress(inout headers hdr, inout metadata meta,
+                   inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action add_hop(bit<32> switchId, bit<9> port) {
+        hdr.stack.push_front(1);
+        hdr.stack[0].setValid();
+        hdr.stack[0].switchId = switchId;
+        hdr.stack[0].latency = (bit<32>)smeta.enq_qdepth;
+        hdr.shim.hops = hdr.shim.hops + 8w1;
+        smeta.egress_spec = port;
+    }
+    action transit(bit<9> port) {
+        smeta.egress_spec = port;
+    }
+    table int_table {
+        key = {
+            hdr.shim.isValid(): exact;
+            hdr.shim.hops: ternary;
+        }
+        actions = { add_hop; transit; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        int_table.apply();
+    }
+}
+
+control IntEgress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control IntDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.shim);
+        pkt.emit(hdr.stack[0]);
+        pkt.emit(hdr.stack[1]);
+        pkt.emit(hdr.stack[2]);
+        pkt.emit(hdr.stack[3]);
+    }
+}
+
+V1Switch(IntParser(), IntIngress(), IntEgress(), IntDeparser()) main;
+`,
+}
+
+var firewallStateful = &Program{
+	Name: "firewall_stateful",
+	Description: "stateful firewall: connection bloom filter in registers, " +
+		"direction table; filter update needs validity keys",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header ipv4_t {
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header tcp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<8>  flags;
+}
+
+struct metadata {
+    bit<16> reg_pos;
+    bit<1>  reg_val;
+    bit<1>  direction;
+}
+
+struct headers {
+    ipv4_t ipv4;
+    tcp_t  tcp;
+}
+
+parser FwParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w6: parse_tcp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        transition accept;
+    }
+}
+
+control FwIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<1>>(65536) bloom;
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action set_direction(bit<1> dir) {
+        meta.direction = dir;
+    }
+    table check_direction {
+        key = { smeta.ingress_port: exact; }
+        actions = { set_direction; drop_; }
+        default_action = drop_();
+    }
+    action track_connection() {
+        hash(meta.reg_pos);
+        bloom.write((bit<32>)meta.reg_pos, 1w1);
+    }
+    action check_connection() {
+        hash(meta.reg_pos);
+        bloom.read(meta.reg_val, (bit<32>)meta.reg_pos);
+    }
+    table conntrack {
+        key = { meta.direction: exact; hdr.tcp.flags: ternary; }
+        actions = { track_connection; check_connection; NoAction; }
+    }
+    action fwd(bit<9> port) {
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+        smeta.egress_spec = port;
+    }
+    table forwarding {
+        key = { meta.reg_val: exact; meta.direction: exact; }
+        actions = { fwd; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        check_direction.apply();
+        conntrack.apply();
+        forwarding.apply();
+    }
+}
+
+control FwEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control FwDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.tcp);
+    }
+}
+
+V1Switch(FwParser(), FwIngress(), FwEgress(), FwDeparser()) main;
+`,
+}
+
+var qosMeter = &Program{
+	Name: "qos_meter",
+	Description: "two-rate QoS marker with a byte-counter register; the " +
+		"marking table rewrites diffserv without a validity key",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header ipv4_t {
+    bit<8>  diffserv;
+    bit<8>  ttl;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct metadata {
+    bit<2>  color;
+    bit<32> bytes;
+}
+
+struct headers {
+    ipv4_t ipv4;
+}
+
+parser QmParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control QmIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<32>>(1024) byte_counts;
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action meter_flow(bit<32> idx) {
+        byte_counts.read(meta.bytes, idx);
+        byte_counts.write(idx, meta.bytes + smeta.packet_length);
+    }
+    table metering {
+        key = {
+            hdr.ipv4.isValid(): exact;
+            hdr.ipv4.srcAddr: ternary;
+        }
+        actions = { meter_flow; NoAction; }
+    }
+    action mark(bit<8> dscp, bit<9> port) {
+        hdr.ipv4.diffserv = dscp;
+        smeta.egress_spec = port;
+    }
+    table marking {
+        key = { meta.bytes: ternary; }
+        actions = { mark; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        metering.apply();
+        marking.apply();
+    }
+}
+
+control QmEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control QmDeparser(packet_out pkt, in headers hdr) {
+    apply { pkt.emit(hdr.ipv4); }
+}
+
+V1Switch(QmParser(), QmIngress(), QmEgress(), QmDeparser()) main;
+`,
+}

@@ -1,0 +1,738 @@
+package progs
+
+func init() {
+	register(flowlet)
+	register(flowletSwitching)
+	register(heavyHitter1)
+	register(heavyHitter2)
+	register(hula)
+	register(issue894)
+	register(tsSwitching16)
+	register(ndpRouter16)
+}
+
+// flowlet: flowlet switching with a timestamp register; the nhop table
+// needs a validity key for its ipv4 rewrite (Table 1: 2/2/0, 2 keys).
+var flowlet = &Program{
+	Name: "flowlet",
+	Description: "flowlet load balancing; flowlet-id register plus an " +
+		"nhop table missing validity keys",
+	Expect: Expectation{MinBugs: 2, NeedsKeys: true},
+	Source: `
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct metadata {
+    bit<16> flowlet_id;
+    bit<16> flowlet_map_index;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+
+parser FlParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            16w0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control FlIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<16>>(65536) flowlet_state;
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action lookup_flowlet_map() {
+        hash(meta.flowlet_map_index);
+        flowlet_state.read(meta.flowlet_id, (bit<32>)meta.flowlet_map_index);
+    }
+    table flowlet_map {
+        key = {
+            hdr.ipv4.isValid(): exact;
+            hdr.ipv4.protocol: ternary;
+        }
+        actions = { lookup_flowlet_map; NoAction; }
+    }
+    action set_nhop(bit<48> dmac, bit<9> port) {
+        hdr.ethernet.dstAddr = dmac;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+        smeta.egress_spec = port;
+    }
+    table flowlet_nhop {
+        key = { meta.flowlet_id: exact; }
+        actions = { set_nhop; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        flowlet_map.apply();
+        flowlet_nhop.apply();
+    }
+}
+
+control FlEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control FlDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+V1Switch(FlParser(), FlIngress(), FlEgress(), FlDeparser()) main;
+`,
+}
+
+// flowlet_switching: variant with an explicit flowlet timeout update
+// writing through a header-derived register index.
+var flowletSwitching = &Program{
+	Name: "flowlet_switching",
+	Description: "flowlet switching with timeout register indexed by a " +
+		"header hash; needs validity keys",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header ipv4_t {
+    bit<8>  ttl;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header tcp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+}
+
+struct metadata {
+    bit<13> flow_index;
+}
+
+struct headers {
+    ipv4_t ipv4;
+    tcp_t  tcp;
+}
+
+parser FsParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.dstAddr) {
+            32w0: accept;
+            default: parse_tcp;
+        }
+    }
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        transition accept;
+    }
+}
+
+control FsIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<48>>(8192) last_seen;
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action update_flowlet() {
+        hash(meta.flow_index);
+        last_seen.write((bit<32>)meta.flow_index, smeta.ingress_global_timestamp);
+    }
+    action route(bit<9> port) {
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+        smeta.egress_spec = port;
+    }
+    table flowlet_update {
+        key = {
+            hdr.tcp.isValid(): exact;
+            hdr.tcp.srcPort: ternary;
+        }
+        actions = { update_flowlet; NoAction; }
+    }
+    table routing {
+        key = { meta.flow_index: exact; }
+        actions = { route; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        flowlet_update.apply();
+        routing.apply();
+    }
+}
+
+control FsEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control FsDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.tcp);
+    }
+}
+
+V1Switch(FsParser(), FsIngress(), FsEgress(), FsDeparser()) main;
+`,
+}
+
+// heavy_hitter_1: count-min-sketch heavy hitter detection; register
+// indices come from hashes (safe) but the threshold check reads the ipv4
+// header in a table lacking a validity key (Table 1: 5/4/0, 2 keys).
+var heavyHitter1 = &Program{
+	Name: "heavy_hitter_1",
+	Description: "count-min sketch heavy hitter; mixed controllable and " +
+		"fixable bugs",
+	Expect: Expectation{MinBugs: 2, NeedsKeys: true},
+	Source: `
+header ipv4_t {
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct metadata {
+    bit<16> idx1;
+    bit<16> idx2;
+    bit<32> count1;
+    bit<32> count2;
+}
+
+struct headers {
+    ipv4_t ipv4;
+}
+
+parser HhParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control HhIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<32>>(65536) sketch1;
+    register<bit<32>>(65536) sketch2;
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action update_sketch() {
+        hash(meta.idx1);
+        hash(meta.idx2);
+        sketch1.read(meta.count1, (bit<32>)meta.idx1);
+        sketch2.read(meta.count2, (bit<32>)meta.idx2);
+        sketch1.write((bit<32>)meta.idx1, meta.count1 + 32w1);
+        sketch2.write((bit<32>)meta.idx2, meta.count2 + 32w1);
+    }
+    table sketch {
+        key = {
+            hdr.ipv4.isValid(): exact;
+            hdr.ipv4.srcAddr: ternary;
+        }
+        actions = { update_sketch; NoAction; }
+    }
+    action mark_heavy() {
+        hdr.ipv4.ttl = 8w0;
+        mark_to_drop(smeta);
+    }
+    action forward(bit<9> port) {
+        smeta.egress_spec = port;
+    }
+    table threshold {
+        key = { meta.count1: ternary; meta.count2: ternary; }
+        actions = { mark_heavy; forward; }
+    }
+    apply {
+        sketch.apply();
+        threshold.apply();
+    }
+}
+
+control HhEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control HhDeparser(packet_out pkt, in headers hdr) {
+    apply { pkt.emit(hdr.ipv4); }
+}
+
+V1Switch(HhParser(), HhIngress(), HhEgress(), HhDeparser()) main;
+`,
+}
+
+// heavy_hitter_2: variant indexing sketches directly with header bits;
+// multiple tables need keys (Table 1: 5/5/0, 6 keys).
+var heavyHitter2 = &Program{
+	Name: "heavy_hitter_2",
+	Description: "heavy hitter with header-indexed registers; several " +
+		"fixable out-of-bounds and validity bugs",
+	Expect: Expectation{MinBugs: 2, NeedsKeys: true},
+	Source: `
+header ipv4_t {
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header udp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<16> length_;
+    bit<16> checksum;
+}
+
+struct metadata {
+    bit<32> tmp;
+}
+
+struct headers {
+    ipv4_t ipv4;
+    udp_t  udp;
+}
+
+parser Hh2Parser(packet_in pkt, out headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition accept;
+    }
+}
+
+control Hh2Ingress(inout headers hdr, inout metadata meta,
+                   inout standard_metadata_t smeta) {
+    register<bit<32>>(1024) counts;
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action count_src() {
+        counts.read(meta.tmp, (bit<32>)hdr.udp.srcPort);
+        counts.write((bit<32>)hdr.udp.srcPort, meta.tmp + 32w1);
+    }
+    table count_table {
+        key = { hdr.ipv4.dstAddr: ternary; }
+        actions = { count_src; NoAction; }
+    }
+    action police(bit<9> port) {
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+        smeta.egress_spec = port;
+    }
+    table police_table {
+        key = { meta.tmp: ternary; }
+        actions = { police; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        count_table.apply();
+        police_table.apply();
+    }
+}
+
+control Hh2Egress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control Hh2Deparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+    }
+}
+
+V1Switch(Hh2Parser(), Hh2Ingress(), Hh2Egress(), Hh2Deparser()) main;
+`,
+}
+
+// hula: HULA-style utilization-aware load balancing with a probe header
+// (Table 1: 6/3/0, 3 keys).
+var hula = &Program{
+	Name: "hula",
+	Description: "HULA load balancing; probe processing is validity-" +
+		"matched, data path needs keys",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header ipv4_t {
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header hula_t {
+    bit<24> dst_tor;
+    bit<8>  path_util;
+    bit<32> path_id;
+}
+
+struct metadata {
+    bit<24> dst_tor;
+    bit<32> best_path;
+}
+
+struct headers {
+    ipv4_t ipv4;
+    hula_t hula;
+}
+
+parser HuParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w0x42: parse_hula;
+            default: accept;
+        }
+    }
+    state parse_hula {
+        pkt.extract(hdr.hula);
+        transition accept;
+    }
+}
+
+control HuIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<8>>(512) min_util;
+    register<bit<32>>(512) best_path;
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action process_probe() {
+        min_util.write((bit<32>)hdr.hula.dst_tor, hdr.hula.path_util);
+        best_path.write((bit<32>)hdr.hula.dst_tor, hdr.hula.path_id);
+        mark_to_drop(smeta);
+    }
+    table hula_probe {
+        key = {
+            hdr.hula.isValid(): exact;
+            hdr.hula.dst_tor: ternary;
+        }
+        actions = { process_probe; drop_; }
+        default_action = drop_();
+    }
+    action pick_path(bit<9> port) {
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+        smeta.egress_spec = port;
+    }
+    table hula_fwd {
+        key = { meta.dst_tor: exact; }
+        actions = { pick_path; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        if (hdr.hula.isValid()) {
+            hula_probe.apply();
+        } else {
+            hula_fwd.apply();
+        }
+    }
+}
+
+control HuEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control HuDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.hula);
+    }
+}
+
+V1Switch(HuParser(), HuIngress(), HuEgress(), HuDeparser()) main;
+`,
+}
+
+// issue894: the p4c issue reproducer — header copies between possibly
+// invalid instances (encap/decap), where dontCare widens coverage
+// (Table 1: 5/5/0, 1 key).
+var issue894 = &Program{
+	Name: "issue894",
+	Description: "p4c issue 894 reproducer; header copies between " +
+		"possibly-invalid instances exercise dontCare handling",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header h_t {
+    bit<16> f1;
+    bit<16> f2;
+}
+
+struct metadata {
+    bit<1> tmp;
+}
+
+struct headers {
+    h_t outer;
+    h_t inner;
+}
+
+parser IsParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.outer);
+        transition select(hdr.outer.f1) {
+            16w1: parse_inner;
+            default: accept;
+        }
+    }
+    state parse_inner {
+        pkt.extract(hdr.inner);
+        transition accept;
+    }
+}
+
+control IsIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action decap() {
+        hdr.outer = hdr.inner;
+        hdr.inner.setInvalid();
+    }
+    action fwd(bit<9> port) {
+        hdr.inner.f2 = hdr.outer.f2;
+        smeta.egress_spec = port;
+    }
+    table process {
+        key = { hdr.outer.f1: exact; }
+        actions = { decap; fwd; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        process.apply();
+        smeta.egress_spec = 9w1;
+    }
+}
+
+control IsEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control IsDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.outer);
+        pkt.emit(hdr.inner);
+    }
+}
+
+V1Switch(IsParser(), IsIngress(), IsEgress(), IsDeparser()) main;
+`,
+}
+
+// ts_switching_16: timestamp-based switching (Table 1: 4/3/0, 2 keys).
+var tsSwitching16 = &Program{
+	Name: "ts_switching_16",
+	Description: "timestamp switching; one controllable bug, one needing " +
+		"a key",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header ts_t {
+    bit<48> ts;
+    bit<16> kind;
+}
+
+struct metadata {
+    bit<48> delta;
+}
+
+struct headers {
+    ts_t ts;
+}
+
+parser TsParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: parse_ts;
+            default: accept;
+        }
+    }
+    state parse_ts {
+        pkt.extract(hdr.ts);
+        transition accept;
+    }
+}
+
+control TsIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action compute_delta() {
+        meta.delta = smeta.ingress_global_timestamp - hdr.ts.ts;
+    }
+    table stamp {
+        key = {
+            hdr.ts.isValid(): exact;
+            hdr.ts.kind: exact;
+        }
+        actions = { compute_delta; NoAction; }
+    }
+    action out_port(bit<9> port) {
+        hdr.ts.ts = smeta.ingress_global_timestamp;
+        smeta.egress_spec = port;
+    }
+    table switching {
+        key = { meta.delta: ternary; }
+        actions = { out_port; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        stamp.apply();
+        switching.apply();
+    }
+}
+
+control TsEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control TsDeparser(packet_out pkt, in headers hdr) {
+    apply { pkt.emit(hdr.ts); }
+}
+
+V1Switch(TsParser(), TsIngress(), TsEgress(), TsDeparser()) main;
+`,
+}
+
+// ndp_router_16: NDP-style router with a priority queue decision
+// (Table 1: 4/4/0, 3 keys).
+var ndpRouter16 = &Program{
+	Name: "ndp_router_16",
+	Description: "NDP router; truncation path and routing table need " +
+		"validity keys",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header ipv4_t {
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> totalLen;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header ndp_t {
+    bit<16> flags;
+    bit<16> seq;
+}
+
+struct metadata {
+    bit<1> is_ndp;
+}
+
+struct headers {
+    ipv4_t ipv4;
+    ndp_t  ndp;
+}
+
+parser NdpParser(packet_in pkt, out headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w0x99: parse_ndp;
+            default: accept;
+        }
+    }
+    state parse_ndp {
+        pkt.extract(hdr.ndp);
+        transition accept;
+    }
+}
+
+control NdpIngress(inout headers hdr, inout metadata meta,
+                   inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action route(bit<9> port) {
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+        smeta.egress_spec = port;
+    }
+    table routing {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { route; drop_; }
+        default_action = drop_();
+    }
+    action truncate_payload() {
+        hdr.ndp.flags = hdr.ndp.flags | 16w0x8000;
+        truncate(smeta);
+    }
+    table ndp_trunc {
+        key = { smeta.enq_qdepth: ternary; }
+        actions = { truncate_payload; NoAction; }
+    }
+    apply {
+        routing.apply();
+        ndp_trunc.apply();
+    }
+}
+
+control NdpEgress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control NdpDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.ndp);
+    }
+}
+
+V1Switch(NdpParser(), NdpIngress(), NdpEgress(), NdpDeparser()) main;
+`,
+}

@@ -1,0 +1,75 @@
+// Package progs is the benchmark corpus: P4 programs mirroring the rows
+// of the paper's Table 1. Each program is written in bf4's P4-16 subset
+// to exhibit the same bug structure as its namesake from the paper's
+// 94-program evaluation set (the relevant structural properties are which
+// tables match on header validity, which actions touch unvalidated
+// headers or register indices, and whether forwarding is always decided).
+// The switch program — the paper's production-grade 6 KLOC datacenter
+// router — is generated deterministically by GenerateSwitch.
+package progs
+
+import "sort"
+
+// Program is one corpus entry.
+type Program struct {
+	Name string
+	// Source is the P4 source text.
+	Source string
+	// Description summarizes what the program does and which bug classes
+	// it exhibits.
+	Description string
+	// Expect describes the qualitative Table 1 shape used by the
+	// integration tests: the reproduction asserts these relations rather
+	// than the paper's absolute counts.
+	Expect Expectation
+}
+
+// Expectation captures the qualitative row shape.
+type Expectation struct {
+	// MinBugs is a lower bound on initially reachable bugs.
+	MinBugs int
+	// InferControlsAll means annotation inference alone removes every
+	// bug (arp, resubmit in the paper).
+	InferControlsAll bool
+	// NeedsKeys means the Fixes algorithm must propose at least one key.
+	NeedsKeys bool
+	// DataplaneBugs is the number of bugs remaining after fixes
+	// (mplb_router and linearroad keep 1 in the paper).
+	DataplaneBugs int
+	// EgressSpecBug means the program exhibits the egress-spec-not-set
+	// class (most V1 programs, per §5.1).
+	EgressSpecBug bool
+}
+
+var registry []*Program
+
+func register(p *Program) { registry = append(registry, p) }
+
+// All returns the corpus sorted by name, with switch generated at its
+// default scale.
+func All() []*Program {
+	out := append([]*Program(nil), registry...)
+	out = append(out, SwitchProgram())
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns a program by name (nil if absent).
+func Get(name string) *Program {
+	for _, p := range All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Names lists the corpus program names.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package progs
+
+import (
+	"strings"
+	"testing"
+
+	"bf4/internal/driver"
+	"bf4/internal/ir"
+	"bf4/internal/p4/parser"
+	"bf4/internal/p4/types"
+)
+
+func TestCorpusCompiles(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := parser.Parse(p.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			info, err := types.Check(prog)
+			if err != nil {
+				t.Fatalf("typecheck: %v", err)
+			}
+			if _, err := ir.Build(prog, info, ir.DefaultOptions()); err != nil {
+				t.Fatalf("lower: %v", err)
+			}
+		})
+	}
+}
+
+func TestCorpusNamesComplete(t *testing.T) {
+	want := []string{
+		// Table 1 rows.
+		"07-MultiProtocol", "arp", "basic_routing", "ecmp_2",
+		"firewall_stateful", "flowlet", "flowlet_switching",
+		"hash_action_gw2", "heavy_hitter_1", "heavy_hitter_2", "hula",
+		"int_telemetry", "issue894", "linearroad_16", "mc_nat_16",
+		"mplb_router-ppc", "ndp_router_16", "netchain", "netchain_16",
+		"netpaxos_accept_16", "qos_meter", "resubmit", "simple_nat",
+		"switch", "ts_switching_16",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("corpus has %d programs, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("program %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCorpusShapes runs the full bf4 loop on every non-switch program and
+// asserts the qualitative Table 1 row shape.
+func TestCorpusShapes(t *testing.T) {
+	for _, p := range All() {
+		if p.Name == "switch" {
+			continue // covered by TestSwitchShape
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res, err := driver.Run(p.Name, p.Source, driver.DefaultConfig())
+			if err != nil {
+				t.Fatalf("driver: %v", err)
+			}
+			t.Log(res.Summary())
+			e := p.Expect
+			if res.Bugs < e.MinBugs {
+				t.Errorf("bugs = %d, want >= %d", res.Bugs, e.MinBugs)
+			}
+			if e.InferControlsAll {
+				if res.BugsAfterInfer != 0 {
+					for _, b := range res.InferResult.Uncontrolled {
+						t.Logf("uncontrolled: %s", b.Description())
+					}
+					t.Errorf("bugs after Infer = %d, want 0", res.BugsAfterInfer)
+				}
+				if res.KeysAdded != 0 {
+					t.Errorf("keys added = %d, want 0", res.KeysAdded)
+				}
+			}
+			if e.NeedsKeys && res.KeysAdded == 0 {
+				t.Errorf("expected key fixes, got none")
+			}
+			if res.BugsAfterFixes != e.DataplaneBugs {
+				for _, b := range res.Dataplane {
+					t.Logf("after fixes: %s", b.Description())
+				}
+				t.Errorf("bugs after fixes = %d, want %d", res.BugsAfterFixes, e.DataplaneBugs)
+			}
+			if e.EgressSpecBug {
+				found := false
+				for _, b := range res.InitialRep.Bugs {
+					if b.Reachable && b.Kind == ir.BugEgressSpecNotSet {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("expected an egress-spec bug")
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateSwitchDeterministic(t *testing.T) {
+	a := GenerateSwitch(4)
+	b := GenerateSwitch(4)
+	if a != b {
+		t.Fatal("switch generation is not deterministic")
+	}
+	if GenerateSwitch(8) == a {
+		t.Fatal("scale has no effect")
+	}
+}
+
+func TestGenerateSwitchScalesLoC(t *testing.T) {
+	small := len(strings.Split(GenerateSwitch(2), "\n"))
+	big := len(strings.Split(GenerateSwitch(DefaultSwitchScale), "\n"))
+	if big <= small {
+		t.Fatalf("LoC did not grow with scale: %d vs %d", small, big)
+	}
+	if big < 800 {
+		t.Fatalf("default switch is only %d lines; expected production scale", big)
+	}
+}
+
+// TestSwitchShape verifies the paper's headline result on a moderate
+// switch scale: many bugs, a large fraction controlled by Infer, the
+// rest eliminated by key fixes across multiple tables.
+func TestSwitchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: full bf4 loop on switch@4")
+	}
+	src := GenerateSwitch(4)
+	res, err := driver.Run("switch@4", src, driver.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Summary())
+	if res.Bugs < 10 {
+		t.Fatalf("switch@4 found only %d bugs", res.Bugs)
+	}
+	if res.BugsAfterInfer >= res.Bugs {
+		t.Fatalf("Infer controlled nothing: %d -> %d", res.Bugs, res.BugsAfterInfer)
+	}
+	if res.KeysAdded == 0 || res.TablesTouched < 2 {
+		t.Fatalf("fixes: keys=%d tables=%d", res.KeysAdded, res.TablesTouched)
+	}
+	if res.BugsAfterFixes != 0 {
+		for _, b := range res.Dataplane {
+			t.Logf("after fixes: %s", b.Description())
+		}
+		t.Fatalf("bugs after fixes = %d, want 0", res.BugsAfterFixes)
+	}
+}

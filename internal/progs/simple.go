@@ -1,0 +1,531 @@
+package progs
+
+func init() {
+	register(arp)
+	register(resubmit)
+	register(ecmp2)
+	register(mcNat16)
+	register(netpaxosAccept16)
+	register(hashActionGw2)
+}
+
+// arp: an ARP responder. Every table that touches the arp header also
+// matches on its validity, so annotation inference alone controls all
+// bugs (Table 1: 6 → 0 after Infer).
+var arp = &Program{
+	Name: "arp",
+	Description: "ARP responder; all header-touching tables match on " +
+		"validity, so Infer controls every bug without code changes",
+	Expect: Expectation{MinBugs: 2, InferControlsAll: true},
+	Source: `
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header arp_t {
+    bit<16> htype;
+    bit<16> ptype;
+    bit<8>  hlen;
+    bit<8>  plen;
+    bit<16> oper;
+    bit<48> senderHA;
+    bit<32> senderPA;
+    bit<48> targetHA;
+    bit<32> targetPA;
+}
+
+struct metadata {
+    bit<1> is_request;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    arp_t      arp;
+}
+
+parser ArpParser(packet_in pkt, out headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            16w0x806: parse_arp;
+            default: accept;
+        }
+    }
+    state parse_arp {
+        pkt.extract(hdr.arp);
+        transition accept;
+    }
+}
+
+control ArpIngress(inout headers hdr, inout metadata meta,
+                   inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action arp_reply(bit<48> myMac, bit<32> myIp) {
+        hdr.arp.oper = 16w2;
+        hdr.arp.targetHA = hdr.arp.senderHA;
+        hdr.arp.targetPA = hdr.arp.senderPA;
+        hdr.arp.senderHA = myMac;
+        hdr.arp.senderPA = myIp;
+        hdr.ethernet.dstAddr = hdr.ethernet.srcAddr;
+        hdr.ethernet.srcAddr = myMac;
+        smeta.egress_spec = smeta.ingress_port;
+    }
+    action forward(bit<9> port) {
+        smeta.egress_spec = port;
+    }
+    table arp_table {
+        key = {
+            hdr.arp.isValid(): exact;
+            hdr.arp.oper: ternary;
+            hdr.arp.targetPA: ternary;
+        }
+        actions = { arp_reply; forward; drop_; }
+        default_action = drop_();
+    }
+    table l2_fwd {
+        key = {
+            hdr.ethernet.isValid(): exact;
+            hdr.ethernet.dstAddr: ternary;
+        }
+        actions = { forward; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        arp_table.apply();
+        l2_fwd.apply();
+    }
+}
+
+control ArpEgress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control ArpDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.arp);
+    }
+}
+
+V1Switch(ArpParser(), ArpIngress(), ArpEgress(), ArpDeparser()) main;
+`,
+}
+
+// resubmit: the v1model resubmit example; metadata-only matching and an
+// unconditional forwarding decision make all bugs controllable
+// (Table 1: 2 → 0 after Infer).
+var resubmit = &Program{
+	Name: "resubmit",
+	Description: "resubmit example; validity-matched table plus explicit " +
+		"drop default — Infer controls everything",
+	Expect: Expectation{MinBugs: 1, InferControlsAll: true},
+	Source: `
+header mpls_t {
+    bit<20> label;
+    bit<3>  tc;
+    bit<1>  bos;
+    bit<8>  ttl;
+}
+
+struct metadata {
+    bit<8> resubmit_count;
+}
+
+struct headers {
+    mpls_t mpls;
+}
+
+parser RsParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: parse_mpls;
+            default: accept;
+        }
+    }
+    state parse_mpls {
+        pkt.extract(hdr.mpls);
+        transition accept;
+    }
+}
+
+control RsIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action do_resubmit() {
+        resubmit(meta);
+        meta.resubmit_count = meta.resubmit_count + 8w1;
+        mark_to_drop(smeta);
+    }
+    action pop_and_forward(bit<9> port) {
+        hdr.mpls.ttl = hdr.mpls.ttl - 8w1;
+        smeta.egress_spec = port;
+    }
+    table t_resubmit {
+        key = {
+            hdr.mpls.isValid(): exact;
+            meta.resubmit_count: ternary;
+        }
+        actions = { do_resubmit; pop_and_forward; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        t_resubmit.apply();
+    }
+}
+
+control RsEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control RsDeparser(packet_out pkt, in headers hdr) {
+    apply { pkt.emit(hdr.mpls); }
+}
+
+V1Switch(RsParser(), RsIngress(), RsEgress(), RsDeparser()) main;
+`,
+}
+
+// ecmp_2: ECMP group selection. The nhop table dereferences the ipv4
+// header without a validity key — one key fix needed (Table 1: 2/2/0,
+// 1 key).
+var ecmp2 = &Program{
+	Name: "ecmp_2",
+	Description: "two-stage ECMP; hash-selected nhop table lacks a " +
+		"validity key and needs one fix",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true, EgressSpecBug: true},
+	Source: `
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<8>  versionIhl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct metadata {
+    bit<16> ecmp_select;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+
+parser EcmpParser(packet_in pkt, out headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            16w0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control EcmpIngress(inout headers hdr, inout metadata meta,
+                    inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action set_ecmp_select(bit<16> base) {
+        hash(meta.ecmp_select);
+        meta.ecmp_select = meta.ecmp_select + base;
+    }
+    table ecmp_group {
+        key = {
+            hdr.ipv4.isValid(): exact;
+            hdr.ipv4.dstAddr: lpm;
+        }
+        actions = { set_ecmp_select; drop_; }
+        default_action = drop_();
+    }
+    action set_nhop(bit<48> dmac, bit<9> port) {
+        hdr.ethernet.dstAddr = dmac;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+        smeta.egress_spec = port;
+    }
+    table ecmp_nhop {
+        key = { meta.ecmp_select: exact; }
+        actions = { set_nhop; NoAction; }
+    }
+    apply {
+        ecmp_group.apply();
+        ecmp_nhop.apply();
+    }
+}
+
+control EcmpEgress(inout headers hdr, inout metadata meta,
+                   inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control EcmpDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+V1Switch(EcmpParser(), EcmpIngress(), EcmpEgress(), EcmpDeparser()) main;
+`,
+}
+
+// mc_nat_16: multicast NAT. One of two bugs is controllable with the
+// existing validity key, the other needs the nat table's rewrite action
+// key (Table 1: 2/1/0, 1 key).
+var mcNat16 = &Program{
+	Name: "mc_nat_16",
+	Description: "multicast NAT; rewrite table needs a validity key, " +
+		"group table is already controllable",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header ipv4_t {
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct metadata {
+    bit<16> mcast_grp;
+}
+
+struct headers {
+    ipv4_t ipv4;
+}
+
+parser McParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: accept;
+            default: parse_ipv4;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control McIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action set_mcast(bit<16> grp) {
+        smeta.mcast_grp = grp;
+        smeta.egress_spec = 9w100;
+    }
+    table mcast_group {
+        key = {
+            hdr.ipv4.isValid(): exact;
+            hdr.ipv4.dstAddr: ternary;
+        }
+        actions = { set_mcast; drop_; }
+        default_action = drop_();
+    }
+    action rewrite_src(bit<32> newSrc) {
+        hdr.ipv4.srcAddr = newSrc;
+    }
+    table nat_rewrite {
+        key = { smeta.mcast_grp: exact; }
+        actions = { rewrite_src; NoAction; }
+    }
+    apply {
+        mcast_group.apply();
+        nat_rewrite.apply();
+    }
+}
+
+control McEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control McDeparser(packet_out pkt, in headers hdr) {
+    apply { pkt.emit(hdr.ipv4); }
+}
+
+V1Switch(McParser(), McIngress(), McEgress(), McDeparser()) main;
+`,
+}
+
+// netpaxos_acceptor_16: the Paxos acceptor. A register indexed by a
+// header field needs the field as a key (Table 1: 2/2/0, 1 key).
+var netpaxosAccept16 = &Program{
+	Name: "netpaxos_accept_16",
+	Description: "Paxos acceptor; register indexed by the paxos instance " +
+		"field overflows without a bounding key",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header paxos_t {
+    bit<32> inst;
+    bit<16> rnd;
+    bit<16> vrnd;
+    bit<32> value;
+    bit<16> msgtype;
+}
+
+struct metadata {
+    bit<1> proc;
+}
+
+struct headers {
+    paxos_t paxos;
+}
+
+parser PxParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: parse_paxos;
+            default: accept;
+        }
+    }
+    state parse_paxos {
+        pkt.extract(hdr.paxos);
+        transition accept;
+    }
+}
+
+control PxIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<16>>(4096) rounds;
+    register<bit<32>>(4096) values;
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action handle_1a(bit<9> learner) {
+        rounds.write((bit<32>)hdr.paxos.inst, hdr.paxos.rnd);
+        smeta.egress_spec = learner;
+    }
+    action handle_2a(bit<9> learner) {
+        rounds.write((bit<32>)hdr.paxos.inst, hdr.paxos.rnd);
+        values.write((bit<32>)hdr.paxos.inst, hdr.paxos.value);
+        smeta.egress_spec = learner;
+    }
+    table acceptor {
+        key = {
+            hdr.paxos.isValid(): exact;
+            hdr.paxos.msgtype: exact;
+        }
+        actions = { handle_1a; handle_2a; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        acceptor.apply();
+    }
+}
+
+control PxEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control PxDeparser(packet_out pkt, in headers hdr) {
+    apply { pkt.emit(hdr.paxos); }
+}
+
+V1Switch(PxParser(), PxIngress(), PxEgress(), PxDeparser()) main;
+`,
+}
+
+// hash_action_gw2: a gateway computing a hash index into a counter
+// register; the count table needs a validity key (Table 1: 2/2/0, 1 key).
+var hashActionGw2 = &Program{
+	Name: "hash_action_gw2",
+	Description: "hash-action gateway; counter table dereferences the " +
+		"ipv4 header without a validity key",
+	Expect: Expectation{MinBugs: 1, NeedsKeys: true},
+	Source: `
+header ipv4_t {
+    bit<8>  ttl;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct metadata {
+    bit<8> bucket;
+}
+
+struct headers {
+    ipv4_t ipv4;
+}
+
+parser GwParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w0: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control GwIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<32>>(256) counters;
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action count_flow(bit<8> base) {
+        hash(meta.bucket);
+        counters.write((bit<32>)(meta.bucket + base), (bit<32>)hdr.ipv4.ttl);
+    }
+    action forward(bit<9> port) {
+        smeta.egress_spec = port;
+    }
+    table gw_count {
+        key = { hdr.ipv4.dstAddr: ternary; }
+        actions = { count_flow; NoAction; }
+    }
+    table gw_fwd {
+        key = { smeta.ingress_port: exact; }
+        actions = { forward; drop_; }
+        default_action = drop_();
+    }
+    apply {
+        gw_count.apply();
+        gw_fwd.apply();
+    }
+}
+
+control GwEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    apply { }
+}
+
+control GwDeparser(packet_out pkt, in headers hdr) {
+    apply { pkt.emit(hdr.ipv4); }
+}
+
+V1Switch(GwParser(), GwIngress(), GwEgress(), GwDeparser()) main;
+`,
+}

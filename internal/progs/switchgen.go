@@ -1,0 +1,597 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultSwitchScale sizes the generated switch program. Each scale unit
+// adds a tunnel-termination slice (decap action + table), an ACL slice
+// and a QoS slice, mirroring how switch.p4's bulk comes from replicated
+// per-protocol stages. The default lands in the same order of magnitude
+// as the paper's 6.2 KLOC program in tables and bugs.
+const DefaultSwitchScale = 16
+
+// SwitchProgram returns the generated datacenter-switch program at the
+// default scale.
+func SwitchProgram() *Program {
+	return &Program{
+		Name: "switch",
+		Description: "generated production-style datacenter switch " +
+			"(validation, L2, L3, fabric, tunnel termination, ACL, QoS " +
+			"stages) mirroring switch.p4's bug structure",
+		Expect: Expectation{MinBugs: 20, NeedsKeys: true},
+		Source: GenerateSwitch(DefaultSwitchScale),
+	}
+}
+
+// GenerateSwitch deterministically produces a switch.p4-like program.
+// The generated pipeline reproduces the paper's §5.1 case studies:
+//
+//   - validate_outer_ethernet matching on vlan_tag validity bits (the
+//     "missing assumptions" example) — controllable by Infer;
+//   - fabric_ingress_dst_lkp matching a fabric-header field exactly
+//     without a validity key (the "missing validity checks" example) —
+//     needs a key fix;
+//   - tunnel decap stages copying inner headers outward (the encap
+//     dontCare example);
+//   - replicated ACL/QoS slices touching conditionally-parsed L4
+//     headers, a mix of controllable and fixable bugs.
+func GenerateSwitch(scale int) string {
+	if scale < 1 {
+		scale = 1
+	}
+	var b strings.Builder
+	w := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, format, args...)
+		b.WriteString("\n")
+	}
+
+	// ------------------------------------------------ headers
+	w(`// Generated datacenter switch (bf4 reproduction corpus), scale %d.`, scale)
+	w(`header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header fabric_header_t {
+    bit<3>  packetType;
+    bit<2>  headerVersion;
+    bit<2>  packetVersion;
+    bit<1>  pad1;
+    bit<3>  fabricColor;
+    bit<5>  fabricQos;
+    bit<8>  dstDevice;
+    bit<16> dstPortOrGroup;
+}
+
+header fabric_header_unicast_t {
+    bit<1>  routed;
+    bit<1>  outerRouted;
+    bit<1>  tunnelTerminate;
+    bit<5>  ingressTunnelType;
+    bit<16> nexthopIndex;
+}
+
+header vlan_tag_t {
+    bit<3>  pcp;
+    bit<1>  cfi;
+    bit<12> vid;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> fragOffset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header ipv6_t {
+    bit<4>   version;
+    bit<8>   trafficClass;
+    bit<20>  flowLabel;
+    bit<16>  payloadLen;
+    bit<8>   nextHdr;
+    bit<8>   hopLimit;
+    bit<128> srcAddr;
+    bit<128> dstAddr;
+}
+
+header tcp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<32> seqNo;
+    bit<32> ackNo;
+    bit<8>  flags;
+    bit<16> window;
+}
+
+header udp_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<16> length_;
+    bit<16> checksum;
+}`)
+	for i := 0; i < scale; i++ {
+		w(`
+header tun%d_t {
+    bit<24> vni;
+    bit<8>  flags;
+    bit<16> reserved;
+}`, i)
+	}
+
+	// ------------------------------------------------ metadata
+	w(`
+struct ingress_metadata_t {
+    bit<16> ifindex;
+    bit<12> outer_vlan;
+    bit<1>  port_type;
+    bit<16> bd;
+    bit<16> nexthop_index;
+    bit<1>  routed;
+    bit<2>  lkp_pkt_type;
+    bit<16> lkp_mac_type;
+    bit<3>  lkp_pcp;
+    bit<8>  acl_label;
+    bit<8>  qos_label;
+    bit<1>  tunnel_terminate;
+    bit<5>  ingress_tunnel_type;
+    bit<32> stats_idx;
+}
+
+struct metadata {
+    ingress_metadata_t ig;
+}`)
+
+	// headers struct
+	w(`
+struct headers {
+    ethernet_t ethernet;
+    fabric_header_t fabric_header;
+    fabric_header_unicast_t fabric_header_unicast;
+    vlan_tag_t[2] vlan_tag_;
+    ipv4_t ipv4;
+    ipv6_t ipv6;
+    tcp_t tcp;
+    udp_t udp;
+    ethernet_t inner_ethernet;
+    ipv4_t inner_ipv4;`)
+	for i := 0; i < scale; i++ {
+		w(`    tun%d_t tun%d;`, i, i)
+	}
+	w(`}`)
+
+	// ------------------------------------------------ parser
+	w(`
+parser SwParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            16w0x9000: parse_fabric;
+            16w0x8100: parse_vlan;
+            16w0x800:  parse_ipv4;
+            16w0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_fabric {
+        pkt.extract(hdr.fabric_header);
+        transition select(hdr.fabric_header.packetType) {
+            3w1: parse_fabric_unicast;
+            default: accept;
+        }
+    }
+    state parse_fabric_unicast {
+        pkt.extract(hdr.fabric_header_unicast);
+        transition accept;
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlan_tag_[0]);
+        transition select(hdr.vlan_tag_[0].etherType) {
+            16w0x8100: parse_qinq;
+            16w0x800:  parse_ipv4;
+            16w0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_qinq {
+        pkt.extract(hdr.vlan_tag_[1]);
+        transition select(hdr.vlan_tag_[1].etherType) {
+            16w0x800:  parse_ipv4;
+            16w0x86DD: parse_ipv6;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            8w6:  parse_tcp;
+            8w17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_ipv6 {
+        pkt.extract(hdr.ipv6);
+        transition select(hdr.ipv6.nextHdr) {
+            8w6:  parse_tcp;
+            8w17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_tcp {
+        pkt.extract(hdr.tcp);
+        transition accept;
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dstPort) {`)
+	for i := 0; i < scale; i++ {
+		w(`            16w%d: parse_tun%d;`, 4789+i, i)
+	}
+	w(`            default: accept;
+        }
+    }`)
+	for i := 0; i < scale; i++ {
+		w(`    state parse_tun%d {
+        pkt.extract(hdr.tun%d);
+        pkt.extract(hdr.inner_ethernet);
+        transition select(hdr.inner_ethernet.etherType) {
+            16w0x800: parse_inner_ipv4;
+            default: accept;
+        }
+    }`, i, i)
+	}
+	w(`    state parse_inner_ipv4 {
+        pkt.extract(hdr.inner_ipv4);
+        transition accept;
+    }
+}`)
+
+	// ------------------------------------------------ ingress
+	w(`
+control SwIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    register<bit<32>>(16384) ingress_stats;
+
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+
+    // --- port / ifindex mapping ---
+    action set_ifindex(bit<16> ifindex, bit<1> port_type) {
+        meta.ig.ifindex = ifindex;
+        meta.ig.port_type = port_type;
+    }
+    table ingress_port_mapping {
+        key = { smeta.ingress_port: exact; }
+        actions = { set_ifindex; drop_; }
+        default_action = drop_();
+    }
+
+    // --- paper §5.1 "missing assumptions": validate_outer_ethernet ---
+    action malformed_outer_ethernet_packet() {
+        meta.ig.lkp_pkt_type = 2w0;
+        mark_to_drop(smeta);
+    }
+    action set_valid_outer_unicast_packet_untagged() {
+        meta.ig.lkp_pkt_type = 2w1;
+        meta.ig.lkp_mac_type = hdr.ethernet.etherType;
+    }
+    action set_valid_outer_unicast_packet_single_tagged() {
+        meta.ig.lkp_pkt_type = 2w1;
+        meta.ig.lkp_mac_type = hdr.vlan_tag_[0].etherType;
+        meta.ig.lkp_pcp = hdr.vlan_tag_[0].pcp;
+    }
+    action set_valid_outer_unicast_packet_double_tagged() {
+        meta.ig.lkp_pkt_type = 2w1;
+        meta.ig.lkp_mac_type = hdr.vlan_tag_[1].etherType;
+        meta.ig.lkp_pcp = hdr.vlan_tag_[0].pcp;
+    }
+    table validate_outer_ethernet {
+        key = {
+            hdr.ethernet.srcAddr: ternary;
+            hdr.vlan_tag_[0].isValid(): exact;
+            hdr.vlan_tag_[1].isValid(): exact;
+        }
+        actions = {
+            malformed_outer_ethernet_packet;
+            set_valid_outer_unicast_packet_untagged;
+            set_valid_outer_unicast_packet_single_tagged;
+            set_valid_outer_unicast_packet_double_tagged;
+        }
+        default_action = malformed_outer_ethernet_packet();
+    }
+
+    // --- paper §5.1 "missing validity checks": fabric lookup ---
+    action terminate_fabric_unicast_packet() {
+        smeta.egress_spec = (bit<9>)hdr.fabric_header.dstPortOrGroup;
+        meta.ig.tunnel_terminate = hdr.fabric_header_unicast.tunnelTerminate;
+        meta.ig.ingress_tunnel_type = hdr.fabric_header_unicast.ingressTunnelType;
+        meta.ig.nexthop_index = hdr.fabric_header_unicast.nexthopIndex;
+    }
+    table fabric_ingress_dst_lkp {
+        key = { hdr.fabric_header.dstDevice: exact; }
+        actions = { NoAction; terminate_fabric_unicast_packet; }
+    }
+
+    // --- L2 ---
+    action set_bd(bit<16> bd) {
+        meta.ig.bd = bd;
+    }
+    table port_vlan_mapping {
+        key = {
+            meta.ig.ifindex: exact;
+            hdr.vlan_tag_[0].isValid(): exact;
+            hdr.vlan_tag_[0].vid: ternary;
+        }
+        actions = { set_bd; drop_; }
+        default_action = drop_();
+    }
+    action smac_hit() {
+        meta.ig.lkp_pkt_type = 2w1;
+    }
+    action smac_miss() {
+        meta.ig.lkp_pkt_type = 2w2;
+    }
+    table smac {
+        key = {
+            meta.ig.bd: exact;
+            hdr.ethernet.srcAddr: exact;
+        }
+        actions = { smac_hit; smac_miss; }
+        default_action = smac_miss();
+    }
+    action dmac_hit(bit<16> ifindex) {
+        meta.ig.ifindex = ifindex;
+    }
+    action dmac_redirect(bit<16> nexthop) {
+        meta.ig.nexthop_index = nexthop;
+        meta.ig.routed = 1w1;
+    }
+    table dmac {
+        key = {
+            meta.ig.bd: exact;
+            hdr.ethernet.dstAddr: exact;
+        }
+        actions = { dmac_hit; dmac_redirect; drop_; }
+        default_action = drop_();
+    }
+
+    // --- L3 ---
+    action fib_hit_nexthop(bit<16> nexthop) {
+        meta.ig.nexthop_index = nexthop;
+        meta.ig.routed = 1w1;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+    }
+    table ipv4_fib {
+        key = {
+            hdr.ipv4.isValid(): exact;
+            hdr.ipv4.dstAddr: lpm;
+        }
+        actions = { fib_hit_nexthop; NoAction; }
+    }
+    action fib6_hit_nexthop(bit<16> nexthop) {
+        meta.ig.nexthop_index = nexthop;
+        meta.ig.routed = 1w1;
+        hdr.ipv6.hopLimit = hdr.ipv6.hopLimit - 8w1;
+    }
+    table ipv6_fib {
+        key = { hdr.ipv6.dstAddr: lpm; }
+        actions = { fib6_hit_nexthop; NoAction; }
+    }
+
+    // --- nexthop resolution ---
+    action set_egress(bit<9> port, bit<48> dmac_addr) {
+        smeta.egress_spec = port;
+        hdr.ethernet.dstAddr = dmac_addr;
+    }
+    table nexthop {
+        key = { meta.ig.nexthop_index: exact; }
+        actions = { set_egress; drop_; }
+        default_action = drop_();
+    }
+
+    // --- statistics (register indexed by table-provided index) ---
+    action count_rx(bit<32> idx) {
+        meta.ig.stats_idx = idx;
+        ingress_stats.write(meta.ig.stats_idx, (bit<32>)smeta.packet_length);
+    }
+    table rx_stats {
+        key = { meta.ig.bd: exact; }
+        actions = { count_rx; NoAction; }
+    }`)
+
+	// Tunnel decap slices.
+	for i := 0; i < scale; i++ {
+		w(`
+    action decap_tun%d() {
+        hdr.ethernet = hdr.inner_ethernet;
+        hdr.ipv4 = hdr.inner_ipv4;
+        hdr.tun%d.setInvalid();
+        hdr.inner_ethernet.setInvalid();
+        hdr.inner_ipv4.setInvalid();
+        meta.ig.tunnel_terminate = 1w1;
+    }
+    table tunnel_decap_%d {
+        key = { hdr.tun%d.vni: exact; }
+        actions = { decap_tun%d; NoAction; }
+    }`, i, i, i, i, i)
+	}
+
+	// ACL slices: even slices carry validity keys (controllable), odd
+	// ones don't (fixable).
+	for i := 0; i < scale; i++ {
+		if i%2 == 0 {
+			w(`
+    action acl_deny_%d() {
+        meta.ig.acl_label = 8w%d;
+        mark_to_drop(smeta);
+    }
+    action acl_permit_%d(bit<8> label) {
+        meta.ig.acl_label = label;
+    }
+    table acl_%d {
+        key = {
+            hdr.ipv4.isValid(): exact;
+            hdr.tcp.isValid(): exact;
+            hdr.ipv4.srcAddr: ternary;
+            hdr.tcp.srcPort: ternary;
+        }
+        actions = { acl_deny_%d; acl_permit_%d; NoAction; }
+    }`, i, i%250, i, i, i, i)
+		} else {
+			w(`
+    action acl_mark_%d(bit<8> label) {
+        meta.ig.acl_label = label;
+        hdr.tcp.flags = hdr.tcp.flags | 8w1;
+    }
+    table acl_%d {
+        key = { hdr.ipv4.dstAddr: ternary; }
+        actions = { acl_mark_%d; NoAction; }
+    }`, i, i, i)
+		}
+	}
+
+	// QoS slices.
+	for i := 0; i < scale; i++ {
+		w(`
+    action set_qos_%d(bit<8> label) {
+        meta.ig.qos_label = label;
+        hdr.ipv4.diffserv = (bit<8>)label;
+    }
+    table qos_%d {
+        key = {
+            hdr.ipv4.isValid(): exact;
+            meta.ig.acl_label: ternary;
+        }
+        actions = { set_qos_%d; NoAction; }
+    }`, i, i, i)
+	}
+
+	// Encap slices (paper §4.2 "increasing bug coverage"): copying a
+	// possibly-invalid ipv4 into inner_ipv4 is either a bug (destroys a
+	// live header) or a no-op the programmer cannot want (dontCare).
+	// Controllable by Infer only with dontCare enabled.
+	for i := 0; i < scale; i++ {
+		w(`
+    action do_encap_%d() {
+        hdr.inner_ipv4 = hdr.ipv4;
+    }
+    table encap_%d {
+        key = { hdr.ipv4.isValid(): exact; }
+        actions = { do_encap_%d; NoAction; }
+    }`, i, i, i)
+	}
+
+	// Multi-table slices (paper §4.2): tunnel_check_i validates
+	// inner_ipv4 (keys ⊆ inner_fwd_i's keys); inner_fwd_i's use of
+	// inner_ipv4 is controllable only by linking the two tables' rules.
+	for i := 0; i < scale; i++ {
+		w(`
+    action validate_inner_%d() {
+        hdr.inner_ipv4.setValid();
+    }
+    table tunnel_check_%d {
+        key = { meta.ig.bd: exact; }
+        actions = { validate_inner_%d; NoAction; }
+        default_action = validate_inner_%d();
+    }
+    action use_inner_%d(bit<9> port) {
+        hdr.inner_ipv4.ttl = hdr.inner_ipv4.ttl - 8w1;
+        smeta.egress_spec = port;
+    }
+    table inner_fwd_%d {
+        key = { meta.ig.bd: exact; meta.ig.nexthop_index: exact; }
+        actions = { use_inner_%d; NoAction; }
+    }`, i, i, i, i, i, i, i)
+	}
+
+	// Apply block.
+	w(`
+    apply {
+        ingress_port_mapping.apply();
+        validate_outer_ethernet.apply();
+        if (hdr.fabric_header.isValid()) {
+            fabric_ingress_dst_lkp.apply();
+        } else {
+            port_vlan_mapping.apply();
+            smac.apply();
+            dmac.apply();
+            if (meta.ig.routed == 1w1) {
+                if (hdr.ipv4.isValid()) {
+                    ipv4_fib.apply();
+                } else {
+                    ipv6_fib.apply();
+                }
+                nexthop.apply();
+            }
+            rx_stats.apply();`)
+	for i := 0; i < scale; i++ {
+		w(`            tunnel_decap_%d.apply();`, i)
+	}
+	for i := 0; i < scale; i++ {
+		w(`            acl_%d.apply();`, i)
+	}
+	for i := 0; i < scale; i++ {
+		w(`            qos_%d.apply();`, i)
+	}
+	for i := 0; i < scale; i++ {
+		w(`            encap_%d.apply();`, i)
+	}
+	for i := 0; i < scale; i++ {
+		w(`            hdr.inner_ipv4.setInvalid();`)
+		w(`            tunnel_check_%d.apply();`, i)
+		w(`            inner_fwd_%d.apply();`, i)
+	}
+	w(`        }
+    }
+}`)
+
+	// Egress + deparser.
+	w(`
+control SwEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    action rewrite_smac(bit<48> smac) {
+        hdr.ethernet.srcAddr = smac;
+    }
+    table egress_smac_rewrite {
+        key = { smeta.egress_port: exact; }
+        actions = { rewrite_smac; NoAction; }
+    }
+    apply {
+        egress_smac_rewrite.apply();
+    }
+}
+
+control SwDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.fabric_header);
+        pkt.emit(hdr.fabric_header_unicast);
+        pkt.emit(hdr.vlan_tag_[0]);
+        pkt.emit(hdr.vlan_tag_[1]);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.ipv6);
+        pkt.emit(hdr.tcp);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.inner_ethernet);
+        pkt.emit(hdr.inner_ipv4);
+    }
+}
+
+V1Switch(SwParser(), SwIngress(), SwEgress(), SwDeparser()) main;`)
+
+	return b.String()
+}

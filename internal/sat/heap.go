@@ -1,0 +1,90 @@
+package sat
+
+// varHeap is a binary max-heap of variables ordered by VSIDS activity,
+// with an index map enabling decrease-key when activities are bumped.
+type varHeap struct {
+	heap     []Var
+	indices  []int // position of each var in heap, -1 if absent
+	activity *[]float64
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	act := *h.activity
+	return act[a] > act[b]
+}
+
+func (h *varHeap) inHeap(v Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) insert(v Var) {
+	for Var(len(h.indices)) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.indices[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.percolateUp(h.indices[v])
+}
+
+// decrease restores the heap property after v's activity increased
+// (named after the classical decrease-key, since a higher activity means a
+// smaller key in the ordering).
+func (h *varHeap) decrease(v Var) {
+	h.percolateUp(h.indices[v])
+}
+
+func (h *varHeap) removeMin() (Var, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	top := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[top] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 0
+		h.percolateDown(0)
+	}
+	return top, true
+}
+
+func (h *varHeap) percolateUp(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(v, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.indices[h.heap[i]] = i
+		i = parent
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) percolateDown(i int) {
+	v := h.heap[i]
+	for {
+		left, right := 2*i+1, 2*i+2
+		if left >= len(h.heap) {
+			break
+		}
+		child := left
+		if right < len(h.heap) && h.less(h.heap[right], h.heap[left]) {
+			child = right
+		}
+		if !h.less(h.heap[child], v) {
+			break
+		}
+		h.heap[i] = h.heap[child]
+		h.indices[h.heap[i]] = i
+		i = child
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}

@@ -1,0 +1,67 @@
+package shim
+
+import (
+	"math/big"
+	"testing"
+
+	"bf4/internal/dataplane"
+)
+
+func TestAutofillSynthesizedKeys(t *testing.T) {
+	sh, res, _ := buildNATShim(t)
+	if res.Fixed == nil {
+		t.Skip("no fixed pipeline")
+	}
+	sh.AutofillSynthesizedKeys = true
+
+	// An "old controller" writes an ipv4_lpm rule with only the original
+	// key (the lpm), unaware of the synthesized validity key.
+	old := &Update{Table: "ipv4_lpm", Entry: &dataplane.Entry{
+		Keys:   []dataplane.KeyMatch{dataplane.NewLpm(0, 0)},
+		Action: "set_nhop",
+		Params: []*big.Int{big.NewInt(1), big.NewInt(7)},
+	}}
+	if err := sh.Apply(old); err != nil {
+		t.Fatalf("autofill did not rescue the old-format rule: %v", err)
+	}
+	// The entry must have been completed with the safe validity value.
+	if len(old.Entry.Keys) != 2 {
+		t.Fatalf("keys after autofill = %d, want 2", len(old.Entry.Keys))
+	}
+	if old.Entry.Keys[1].Value.Int64() != 1 {
+		t.Fatalf("validity key autofilled to %v, want 1 (valid)", old.Entry.Keys[1].Value)
+	}
+}
+
+func TestAutofillOffRejectsOldFormat(t *testing.T) {
+	sh, res, _ := buildNATShim(t)
+	if res.Fixed == nil {
+		t.Skip("no fixed pipeline")
+	}
+	err := sh.Apply(&Update{Table: "ipv4_lpm", Entry: &dataplane.Entry{
+		Keys:   []dataplane.KeyMatch{dataplane.NewLpm(0, 0)},
+		Action: "set_nhop",
+		Params: []*big.Int{big.NewInt(1), big.NewInt(7)},
+	}})
+	if err == nil {
+		t.Fatal("old-format rule accepted without autofill")
+	}
+}
+
+func TestAutofillDoesNotTouchFullEntries(t *testing.T) {
+	sh, res, _ := buildNATShim(t)
+	if res.Fixed == nil {
+		t.Skip("no fixed pipeline")
+	}
+	sh.AutofillSynthesizedKeys = true
+	// A new-format faulty rule (explicit invalid-expected key + set_nhop)
+	// must still be rejected; autofill must not rewrite it.
+	err := sh.Apply(&Update{Table: "ipv4_lpm", Entry: &dataplane.Entry{
+		Keys:   []dataplane.KeyMatch{dataplane.NewLpm(0, 0), dataplane.NewExact(0)},
+		Action: "set_nhop",
+		Params: []*big.Int{big.NewInt(1), big.NewInt(7)},
+	}})
+	if err == nil {
+		t.Fatal("explicitly faulty new-format rule accepted")
+	}
+}

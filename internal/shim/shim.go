@@ -1,0 +1,366 @@
+// Package shim implements bf4's runtime rule sanitizer (paper §4.4): it
+// sits between the controller and the dataplane, intercepting table
+// updates and validating each against the assertions inferred at compile
+// time. Validation follows the paper's three steps: (a) dispatch the
+// update to the conditions clustered on its table (constant time), (b)
+// rewrite each condition body with the update's concrete values, (c)
+// resolve any variables still unbound (multi-table assertions) against
+// shadow copies of the other tables' contents. Safe updates are inserted
+// into the shadow state; unsafe updates raise an exception back to the
+// controller — the dataplane never holds a buggy snapshot.
+package shim
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"bf4/internal/dataplane"
+	"bf4/internal/smt"
+	"bf4/internal/spec"
+)
+
+// Update is one controller message.
+type Update struct {
+	Table string
+	// Entry inserts a rule (nil when setting a default action).
+	Entry *dataplane.Entry
+	// SetDefault changes the table's default action.
+	SetDefault *dataplane.DefaultAction
+}
+
+// RejectionError explains why an update was refused.
+type RejectionError struct {
+	Table     string
+	Assertion *spec.Assertion
+	Forbidden string
+	Reason    string
+}
+
+func (e *RejectionError) Error() string {
+	if e.Assertion != nil {
+		return fmt.Sprintf("shim: update to table %s rejected: rule matches forbidden shape %s (inferred by %s)",
+			e.Table, e.Forbidden, e.Assertion.Source)
+	}
+	return fmt.Sprintf("shim: update to table %s rejected: %s", e.Table, e.Reason)
+}
+
+// compiledAssertion pre-parses one assertion's forbidden terms.
+type compiledAssertion struct {
+	src       *spec.Assertion
+	terms     []*smt.Term
+	primary   *spec.TableSchema
+	linked    *spec.TableSchema // nil for single-table assertions
+	termBound []map[string]bool // var names each term mentions
+}
+
+// Stats aggregates validation outcomes and latencies (for §5.3).
+type Stats struct {
+	Validated int
+	Rejected  int
+	// PerAssertionNs records the latency of every single-assertion
+	// evaluation; PerUpdateNs records whole-update validation latency.
+	PerAssertionNs []int64
+	PerUpdateNs    []int64
+}
+
+// Shim validates and tracks controller updates for one P4 program.
+type Shim struct {
+	mu      sync.Mutex
+	f       *smt.Factory
+	file    *spec.File
+	byTable map[string][]*compiledAssertion
+	shadow  map[string][]*dataplane.Entry
+	stats   Stats
+
+	// AutofillSynthesizedKeys lets rules from a controller that predates
+	// the Fixes pass be accepted: updates that omit exactly the
+	// synthesized (bf4-added) keys get safe values appended — validity
+	// keys expect a valid header (1), other widths get 0 — before
+	// validation. The paper sketches this as future work in §4.4.
+	AutofillSynthesizedKeys bool
+}
+
+// New compiles a spec file into a shim.
+func New(file *spec.File) (*Shim, error) {
+	s := &Shim{
+		f:       smt.NewFactory(),
+		file:    file,
+		byTable: map[string][]*compiledAssertion{},
+		shadow:  map[string][]*dataplane.Entry{},
+	}
+	for _, a := range file.Assertions {
+		ca := &compiledAssertion{src: a, primary: file.Table(a.Table)}
+		if ca.primary == nil {
+			return nil, fmt.Errorf("shim: assertion references unknown table %s", a.Table)
+		}
+		if a.Linked != "" {
+			ca.linked = file.Table(a.Linked)
+			if ca.linked == nil {
+				return nil, fmt.Errorf("shim: assertion references unknown linked table %s", a.Linked)
+			}
+		}
+		for i := range a.Forbidden {
+			t, err := a.ParseForbidden(s.f, i)
+			if err != nil {
+				return nil, fmt.Errorf("shim: table %s: %w", a.Table, err)
+			}
+			ca.terms = append(ca.terms, t)
+			names := map[string]bool{}
+			for _, vt := range t.Vars(nil) {
+				names[vt.Name()] = true
+			}
+			ca.termBound = append(ca.termBound, names)
+		}
+		// Cluster by every table the assertion mentions (step a).
+		s.byTable[a.Table] = append(s.byTable[a.Table], ca)
+		if a.Linked != "" && a.Linked != a.Table {
+			s.byTable[a.Linked] = append(s.byTable[a.Linked], ca)
+		}
+	}
+	return s, nil
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (s *Shim) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := s.stats
+	cp.PerAssertionNs = append([]int64(nil), s.stats.PerAssertionNs...)
+	cp.PerUpdateNs = append([]int64(nil), s.stats.PerUpdateNs...)
+	return cp
+}
+
+// ShadowSize returns the number of shadow entries for a table.
+func (s *Shim) ShadowSize(table string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shadow[table])
+}
+
+// Validate checks an update without applying it.
+func (s *Shim) Validate(u *Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.validateLocked(u)
+}
+
+// Apply validates an update and, when safe, records it in the shadow
+// state (mirroring its insertion into the switch).
+func (s *Shim) Apply(u *Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.validateLocked(u); err != nil {
+		return err
+	}
+	if u.Entry != nil {
+		s.shadow[u.Table] = append(s.shadow[u.Table], u.Entry)
+	}
+	return nil
+}
+
+// Snapshot materializes the shadow state as a dataplane snapshot.
+func (s *Shim) Snapshot() *dataplane.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := dataplane.NewSnapshot()
+	for t, es := range s.shadow {
+		snap.Entries[t] = append([]*dataplane.Entry(nil), es...)
+	}
+	return snap
+}
+
+func (s *Shim) validateLocked(u *Update) error {
+	start := time.Now()
+	defer func() {
+		s.stats.PerUpdateNs = append(s.stats.PerUpdateNs, time.Since(start).Nanoseconds())
+	}()
+	s.stats.Validated++
+
+	ts := s.file.Table(u.Table)
+	if ts == nil {
+		s.stats.Rejected++
+		return &RejectionError{Table: u.Table, Reason: "unknown table"}
+	}
+	// Default-rule policy: reject buggy actions outright (§4.4).
+	if u.SetDefault != nil {
+		for _, a := range ts.Actions {
+			if a.Name == u.SetDefault.Action && a.Buggy {
+				s.stats.Rejected++
+				return &RejectionError{Table: u.Table,
+					Reason: fmt.Sprintf("default action %s has a reachable bug", a.Name)}
+			}
+		}
+		return nil
+	}
+	if u.Entry == nil {
+		s.stats.Rejected++
+		return &RejectionError{Table: u.Table, Reason: "empty update"}
+	}
+	if s.AutofillSynthesizedKeys {
+		s.autofill(ts, u.Entry)
+	}
+	if len(u.Entry.Keys) != len(ts.Keys) {
+		s.stats.Rejected++
+		return &RejectionError{Table: u.Table,
+			Reason: fmt.Sprintf("entry has %d keys, table has %d", len(u.Entry.Keys), len(ts.Keys))}
+	}
+
+	env := smt.Env{}
+	bound := bindEntry(env, ts, u.Entry)
+
+	for _, ca := range s.byTable[u.Table] {
+		for i, term := range ca.terms {
+			aStart := time.Now()
+			violated := s.evalCondition(ca, i, term, env, bound, ts)
+			s.stats.PerAssertionNs = append(s.stats.PerAssertionNs, time.Since(aStart).Nanoseconds())
+			if violated {
+				s.stats.Rejected++
+				return &RejectionError{Table: u.Table, Assertion: ca.src, Forbidden: ca.src.Forbidden[i]}
+			}
+		}
+	}
+	return nil
+}
+
+// evalCondition evaluates one forbidden term under the update's bindings,
+// querying shadow tables for unbound (linked-table) variables: the term
+// is violated if ANY completion from the shadow state satisfies it.
+func (s *Shim) evalCondition(ca *compiledAssertion, i int, term *smt.Term, env smt.Env, bound map[string]bool, updated *spec.TableSchema) bool {
+	// Which mentioned variables are still unbound?
+	unboundTables := map[*spec.TableSchema]bool{}
+	for name := range ca.termBound[i] {
+		if bound[name] {
+			continue
+		}
+		switch {
+		case ca.primary != updated && hasPrefixVar(ca.primary, name):
+			unboundTables[ca.primary] = true
+		case ca.linked != nil && ca.linked != updated && hasPrefixVar(ca.linked, name):
+			unboundTables[ca.linked] = true
+		}
+	}
+	if len(unboundTables) == 0 {
+		return smt.EvalBool(term, env)
+	}
+	// Multi-table: try every shadow entry of the other table (the paper's
+	// step c — linear in unbound variables, here one auxiliary table).
+	for other := range unboundTables {
+		entries := s.shadow[other.Name]
+		if len(entries) == 0 {
+			// No candidate entry can complete the forbidden shape; treat
+			// the hit variable as false.
+			env2 := env.Clone()
+			env2.SetBool(other.Prefix+".hit", false)
+			if smt.EvalBool(term, env2) {
+				return true
+			}
+			continue
+		}
+		for _, e := range entries {
+			env2 := env.Clone()
+			bindEntry(env2, other, e)
+			if smt.EvalBool(term, env2) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasPrefixVar(ts *spec.TableSchema, name string) bool {
+	return ts != nil && len(name) > len(ts.Prefix) && name[:len(ts.Prefix)] == ts.Prefix
+}
+
+// bindEntry writes an entry's control-variable values into env and
+// returns the set of bound names.
+func bindEntry(env smt.Env, ts *spec.TableSchema, e *dataplane.Entry) map[string]bool {
+	bound := map[string]bool{}
+	set := func(name string, v *big.Int) {
+		env[name] = v
+		bound[name] = true
+	}
+	setB := func(name string, v bool) {
+		env.SetBool(name, v)
+		bound[name] = true
+	}
+	setB(ts.Prefix+".hit", true)
+	actIdx := 0
+	var act *spec.ActionSchema
+	for _, a := range ts.Actions {
+		if a.Name == e.Action {
+			actIdx = a.Index
+			act = a
+		}
+	}
+	set(ts.Prefix+".action_run", big.NewInt(int64(actIdx)))
+	for j, k := range ts.Keys {
+		if j >= len(e.Keys) {
+			break
+		}
+		set(fmt.Sprintf("%s.key%d", ts.Prefix, j), e.Keys[j].Value)
+		switch k.MatchKind {
+		case "ternary":
+			m := e.Keys[j].Mask
+			if m == nil {
+				m = ones(k.Width)
+			}
+			set(fmt.Sprintf("%s.mask%d", ts.Prefix, j), m)
+		case "lpm":
+			plen := e.Keys[j].PrefixLen
+			if plen < 0 {
+				plen = k.Width
+			}
+			set(fmt.Sprintf("%s.mask%d", ts.Prefix, j), prefixMask(k.Width, plen))
+		}
+	}
+	if act != nil {
+		for pi, p := range act.Params {
+			v := big.NewInt(0)
+			if pi < len(e.Params) {
+				v = e.Params[pi]
+			}
+			set(fmt.Sprintf("%s.%s.%s", ts.Prefix, act.Name, p.Name), v)
+		}
+	}
+	return bound
+}
+
+// autofill appends safe values for trailing synthesized keys when the
+// entry was written against the pre-fix table schema.
+func (s *Shim) autofill(ts *spec.TableSchema, e *dataplane.Entry) {
+	synth := 0
+	for _, k := range ts.Keys {
+		if k.Synthesized {
+			synth++
+		}
+	}
+	if synth == 0 || len(e.Keys) != len(ts.Keys)-synth {
+		return
+	}
+	for _, k := range ts.Keys {
+		if !k.Synthesized {
+			continue
+		}
+		v := big.NewInt(0)
+		if len(k.Path) >= 9 && k.Path[len(k.Path)-9:] == "isValid()" {
+			v = big.NewInt(1) // safe default: the header must be valid
+		}
+		e.Keys = append(e.Keys, dataplane.KeyMatch{Value: v, PrefixLen: -1})
+	}
+}
+
+func ones(w int) *big.Int {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	return m.Sub(m, big.NewInt(1))
+}
+
+func prefixMask(w, plen int) *big.Int {
+	if plen >= w {
+		return ones(w)
+	}
+	m := new(big.Int).Lsh(big.NewInt(1), uint(plen))
+	m.Sub(m, big.NewInt(1))
+	return m.Lsh(m, uint(w-plen))
+}

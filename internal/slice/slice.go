@@ -1,0 +1,122 @@
+// Package slice computes the program slice relevant to bug reachability
+// (paper §4.1): the union of control dependences (branches on paths to
+// bugs) and data dependences (assignments transitively feeding those
+// branch conditions), as in PDG-based slicing [Horwitz–Reps–Binkley].
+// Assignments outside the slice contribute no constraint to the
+// reachability formulas, which is the paper's main model-checking
+// speed-up (switch.p4: 17155 → 7087 instructions, 36 s → 11 s).
+package slice
+
+import (
+	"bf4/internal/ir"
+	"bf4/internal/smt"
+)
+
+// Stats reports the slicing ablation numbers for the evaluation harness.
+type Stats struct {
+	TotalInstructions int
+	SliceInstructions int
+}
+
+// WRTBugs returns the set of Assign/Havoc nodes whose constraints are
+// relevant to reaching any bug node, plus statistics. Pass the result as
+// the keep set of wp.Compute.
+func WRTBugs(p *ir.Program) (keep map[*ir.Node]bool, stats Stats) {
+	return wrt(p, p.Bugs)
+}
+
+// WRTNodes slices with respect to an arbitrary set of target nodes.
+func WRTNodes(p *ir.Program, targets []*ir.Node) (keep map[*ir.Node]bool, stats Stats) {
+	return wrt(p, targets)
+}
+
+func wrt(p *ir.Program, targets []*ir.Node) (map[*ir.Node]bool, Stats) {
+	reachable := p.Reachable()
+	stats := Stats{TotalInstructions: p.NumInstructions()}
+
+	// Backward closure: nodes from which some target is reachable.
+	canReach := map[*ir.Node]bool{}
+	var stack []*ir.Node
+	for _, t := range targets {
+		if reachable[t] && !canReach[t] {
+			canReach[t] = true
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pr := range n.Preds {
+			if reachable[pr] && !canReach[pr] {
+				canReach[pr] = true
+				stack = append(stack, pr)
+			}
+		}
+	}
+
+	// Flow-sensitive backward liveness restricted to the canReach region.
+	// reach(target) contains exactly the branch conditions along paths to
+	// a target, so branches in the region generate uses; an assignment
+	// contributes (keep) iff its variable is live-out, i.e. some later
+	// condition on a path to a target reads it. One reverse-topological
+	// pass suffices on the acyclic CFG.
+	topo := p.Topo()
+	liveIn := map[*ir.Node]map[*ir.Var]bool{}
+	keep := map[*ir.Node]bool{}
+	varsOf := func(e *smt.Term, into map[*ir.Var]bool) {
+		for _, vt := range e.Vars(nil) {
+			if v, ok := p.Vars[vt.Name()]; ok {
+				into[v] = true
+			}
+		}
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		n := topo[i]
+		if !canReach[n] {
+			continue
+		}
+		out := map[*ir.Var]bool{}
+		for _, s := range n.Succs {
+			if !canReach[s] {
+				continue
+			}
+			for v := range liveIn[s] {
+				out[v] = true
+			}
+		}
+		in := out
+		switch n.Kind {
+		case ir.Branch:
+			in = cloneSet(out)
+			varsOf(n.Expr, in)
+			keep[n] = true
+		case ir.Assign:
+			if out[n.Var] {
+				keep[n] = true
+				in = cloneSet(out)
+				delete(in, n.Var)
+				varsOf(n.Expr, in)
+			}
+		case ir.Havoc:
+			if out[n.Var] {
+				keep[n] = true
+				in = cloneSet(out)
+				delete(in, n.Var)
+			}
+		case ir.AssertPoint:
+			keep[n] = true
+		}
+		liveIn[n] = in
+	}
+
+	stats.SliceInstructions = len(keep)
+	return keep, stats
+}
+
+func cloneSet(m map[*ir.Var]bool) map[*ir.Var]bool {
+	out := make(map[*ir.Var]bool, len(m)+4)
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

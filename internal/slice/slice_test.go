@@ -1,0 +1,145 @@
+package slice
+
+import (
+	"testing"
+
+	"bf4/internal/ir"
+	"bf4/internal/smt"
+)
+
+// program builds a CFG where only some assignments matter for the bug:
+//
+//	start -> a = in -> b = 42 -> c = a + 1 -> br(c == 5) -> bug | accept
+//
+// b is dead with respect to the bug; a and c are live.
+func program() (*ir.Program, map[string]*ir.Node) {
+	p := ir.NewProgram("s")
+	in := p.NewVar("in", smt.BV(8))
+	a := p.NewVar("a", smt.BV(8))
+	b := p.NewVar("b", smt.BV(8))
+	c := p.NewVar("c", smt.BV(8))
+	nodes := map[string]*ir.Node{}
+	start := p.NewNode(ir.Nop)
+	p.Start = start
+	na := p.NewNode(ir.Assign)
+	na.Var, na.Expr = a, in.Term
+	nodes["a"] = na
+	nb := p.NewNode(ir.Assign)
+	nb.Var, nb.Expr = b, p.F.BVConst64(42, 8)
+	nodes["b"] = nb
+	nc := p.NewNode(ir.Assign)
+	nc.Var, nc.Expr = c, p.F.Add(a.Term, p.F.BVConst64(1, 8))
+	nodes["c"] = nc
+	br := p.NewNode(ir.Branch)
+	br.Expr = p.F.Eq(c.Term, p.F.BVConst64(5, 8))
+	nodes["br"] = br
+	bug := p.NewNode(ir.BugTerm)
+	nodes["bug"] = bug
+	acc := p.NewNode(ir.AcceptTerm)
+	p.Edge(start, na)
+	p.Edge(na, nb)
+	p.Edge(nb, nc)
+	p.Edge(nc, br)
+	p.Edge(br, bug)
+	p.Edge(br, acc)
+	p.Bugs = append(p.Bugs, bug)
+	return p, nodes
+}
+
+func TestSliceDropsDeadAssign(t *testing.T) {
+	p, n := program()
+	keep, stats := WRTBugs(p)
+	if !keep[n["a"]] || !keep[n["c"]] || !keep[n["br"]] {
+		t.Fatalf("live nodes missing from slice: %v", keep)
+	}
+	if keep[n["b"]] {
+		t.Fatal("dead assignment b kept in slice")
+	}
+	if stats.SliceInstructions >= stats.TotalInstructions {
+		t.Fatalf("slice did not shrink: %d of %d", stats.SliceInstructions, stats.TotalInstructions)
+	}
+}
+
+func TestSliceTransitiveDataDeps(t *testing.T) {
+	// bug guard reads z; z = y; y = x; all three assignments must be kept.
+	p := ir.NewProgram("chain")
+	x := p.NewVar("x", smt.BV(8))
+	y := p.NewVar("y", smt.BV(8))
+	z := p.NewVar("z", smt.BV(8))
+	start := p.NewNode(ir.Nop)
+	p.Start = start
+	ny := p.NewNode(ir.Assign)
+	ny.Var, ny.Expr = y, x.Term
+	nz := p.NewNode(ir.Assign)
+	nz.Var, nz.Expr = z, y.Term
+	br := p.NewNode(ir.Branch)
+	br.Expr = p.F.Eq(z.Term, p.F.BVConst64(1, 8))
+	bug := p.NewNode(ir.BugTerm)
+	acc := p.NewNode(ir.AcceptTerm)
+	p.Edge(start, ny)
+	p.Edge(ny, nz)
+	p.Edge(nz, br)
+	p.Edge(br, bug)
+	p.Edge(br, acc)
+	p.Bugs = append(p.Bugs, bug)
+
+	keep, _ := WRTBugs(p)
+	if !keep[ny] || !keep[nz] {
+		t.Fatal("transitive dependencies must be kept")
+	}
+}
+
+func TestSliceExcludesPostBugCode(t *testing.T) {
+	// Assignments on branches that cannot reach the bug are excluded.
+	p := ir.NewProgram("post")
+	c := p.NewVar("c", smt.BoolSort)
+	w := p.NewVar("w", smt.BV(8))
+	start := p.NewNode(ir.Nop)
+	p.Start = start
+	br := p.NewNode(ir.Branch)
+	br.Expr = c.Term
+	bug := p.NewNode(ir.BugTerm)
+	nw := p.NewNode(ir.Assign) // only on the non-bug side
+	nw.Var, nw.Expr = w, p.F.BVConst64(1, 8)
+	acc := p.NewNode(ir.AcceptTerm)
+	p.Edge(start, br)
+	p.Edge(br, bug)
+	p.Edge(br, nw)
+	p.Edge(nw, acc)
+	p.Bugs = append(p.Bugs, bug)
+
+	keep, _ := WRTBugs(p)
+	if keep[nw] {
+		t.Fatal("assignment beyond the bug kept in slice")
+	}
+	if !keep[br] {
+		t.Fatal("guard branch missing from slice")
+	}
+}
+
+func TestWRTNodesCustomTarget(t *testing.T) {
+	p, n := program()
+	keep, _ := WRTNodes(p, []*ir.Node{n["bug"]})
+	if !keep[n["a"]] || keep[n["b"]] {
+		t.Fatal("WRTNodes disagrees with WRTBugs for the same target")
+	}
+}
+
+func TestNoBugsEmptySlice(t *testing.T) {
+	p := ir.NewProgram("clean")
+	x := p.NewVar("x", smt.BV(8))
+	start := p.NewNode(ir.Nop)
+	p.Start = start
+	a := p.NewNode(ir.Assign)
+	a.Var, a.Expr = x, p.F.BVConst64(1, 8)
+	acc := p.NewNode(ir.AcceptTerm)
+	p.Edge(start, a)
+	p.Edge(a, acc)
+	keep, stats := WRTBugs(p)
+	if len(keep) != 0 {
+		t.Fatalf("bug-free program must slice to nothing, got %v", keep)
+	}
+	if stats.SliceInstructions != 0 {
+		t.Fatalf("slice instructions = %d", stats.SliceInstructions)
+	}
+}

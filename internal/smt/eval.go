@@ -1,0 +1,278 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Env maps variable names to concrete values. Boolean variables use 0/1.
+type Env map[string]*big.Int
+
+// Clone returns a copy of the environment.
+func (e Env) Clone() Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// SetBool assigns a boolean variable.
+func (e Env) SetBool(name string, v bool) {
+	if v {
+		e[name] = big.NewInt(1)
+	} else {
+		e[name] = big.NewInt(0)
+	}
+}
+
+// Set assigns a bitvector variable.
+func (e Env) Set(name string, v *big.Int) { e[name] = v }
+
+// SetUint64 assigns a bitvector variable from a uint64.
+func (e Env) SetUint64(name string, v uint64) { e[name] = new(big.Int).SetUint64(v) }
+
+// Eval evaluates t under env. Boolean results are 0 or 1. Unbound
+// variables evaluate to zero (the "havoc resolved to zero" convention used
+// in tests; the solver never relies on this). The result must not be
+// mutated by the caller.
+func Eval(t *Term, env Env) *big.Int {
+	cache := make(map[*Term]*big.Int)
+	return eval(t, env, cache)
+}
+
+// EvalBool evaluates a boolean term under env.
+func EvalBool(t *Term, env Env) bool {
+	mustBool(t)
+	return Eval(t, env).Sign() != 0
+}
+
+var bigZero = new(big.Int)
+
+func eval(t *Term, env Env, cache map[*Term]*big.Int) *big.Int {
+	if v, ok := cache[t]; ok {
+		return v
+	}
+	v := evalUncached(t, env, cache)
+	cache[t] = v
+	return v
+}
+
+func truth(b bool) *big.Int {
+	if b {
+		return bigOne
+	}
+	return bigZero
+}
+
+func evalUncached(t *Term, env Env, cache map[*Term]*big.Int) *big.Int {
+	arg := func(i int) *big.Int { return eval(t.args[i], env, cache) }
+	argB := func(i int) bool { return arg(i).Sign() != 0 }
+	w := t.sort.Width
+	norm := func(v *big.Int) *big.Int {
+		if v.Sign() >= 0 && v.BitLen() <= w {
+			return v
+		}
+		out := new(big.Int).Mod(v, new(big.Int).Lsh(bigOne, uint(w)))
+		if out.Sign() < 0 {
+			out.Add(out, new(big.Int).Lsh(bigOne, uint(w)))
+		}
+		return out
+	}
+	switch t.op {
+	case OpTrue:
+		return bigOne
+	case OpFalse:
+		return bigZero
+	case OpVar:
+		if v, ok := env[t.name]; ok {
+			if t.sort.IsBool() {
+				return truth(v.Sign() != 0)
+			}
+			return norm(v)
+		}
+		return bigZero
+	case OpConst:
+		return t.val
+	case OpNot:
+		return truth(!argB(0))
+	case OpAnd:
+		for i := range t.args {
+			if !argB(i) {
+				return bigZero
+			}
+		}
+		return bigOne
+	case OpOr:
+		for i := range t.args {
+			if argB(i) {
+				return bigOne
+			}
+		}
+		return bigZero
+	case OpXor:
+		return truth(argB(0) != argB(1))
+	case OpImplies:
+		return truth(!argB(0) || argB(1))
+	case OpIte:
+		if argB(0) {
+			return arg(1)
+		}
+		return arg(2)
+	case OpEq:
+		return truth(arg(0).Cmp(arg(1)) == 0)
+	case OpUlt:
+		return truth(arg(0).Cmp(arg(1)) < 0)
+	case OpUle:
+		return truth(arg(0).Cmp(arg(1)) <= 0)
+	case OpSlt:
+		wa := t.args[0].sort.Width
+		return truth(toSigned(arg(0), wa).Cmp(toSigned(arg(1), wa)) < 0)
+	case OpSle:
+		wa := t.args[0].sort.Width
+		return truth(toSigned(arg(0), wa).Cmp(toSigned(arg(1), wa)) <= 0)
+	case OpAdd:
+		return norm(new(big.Int).Add(arg(0), arg(1)))
+	case OpSub:
+		return norm(new(big.Int).Sub(arg(0), arg(1)))
+	case OpNeg:
+		return norm(new(big.Int).Neg(arg(0)))
+	case OpMul:
+		return norm(new(big.Int).Mul(arg(0), arg(1)))
+	case OpBVAnd:
+		return new(big.Int).And(arg(0), arg(1))
+	case OpBVOr:
+		return new(big.Int).Or(arg(0), arg(1))
+	case OpBVXor:
+		return new(big.Int).Xor(arg(0), arg(1))
+	case OpBVNot:
+		return new(big.Int).Xor(arg(0), maskFor(w))
+	case OpShl:
+		sh := arg(1)
+		if sh.Cmp(big.NewInt(int64(w))) >= 0 {
+			return bigZero
+		}
+		return norm(new(big.Int).Lsh(arg(0), uint(sh.Uint64())))
+	case OpLshr:
+		sh := arg(1)
+		if sh.Cmp(big.NewInt(int64(w))) >= 0 {
+			return bigZero
+		}
+		return new(big.Int).Rsh(arg(0), uint(sh.Uint64()))
+	case OpAshr:
+		s := toSigned(arg(0), w)
+		shv := uint(w)
+		if arg(1).Cmp(big.NewInt(int64(w))) < 0 {
+			shv = uint(arg(1).Uint64())
+		}
+		return norm(new(big.Int).Rsh(s, shv))
+	case OpConcat:
+		wb := t.args[1].sort.Width
+		v := new(big.Int).Lsh(arg(0), uint(wb))
+		return v.Or(v, arg(1))
+	case OpExtract:
+		v := new(big.Int).Rsh(arg(0), uint(t.lo))
+		return v.And(v, maskFor(t.hi-t.lo+1))
+	case OpZExt:
+		return arg(0)
+	case OpSExt:
+		return norm(toSigned(arg(0), t.args[0].sort.Width))
+	default:
+		panic(fmt.Sprintf("smt: eval: unknown op %v", t.op))
+	}
+}
+
+// Substitute returns t with every occurrence of the variables in subst
+// replaced by the corresponding term. The substitution is simultaneous.
+func Substitute(f *Factory, t *Term, subst map[*Term]*Term) *Term {
+	cache := make(map[*Term]*Term)
+	var walk func(*Term) *Term
+	walk = func(u *Term) *Term {
+		if r, ok := subst[u]; ok {
+			return r
+		}
+		if r, ok := cache[u]; ok {
+			return r
+		}
+		if len(u.args) == 0 {
+			cache[u] = u
+			return u
+		}
+		args := make([]*Term, len(u.args))
+		changed := false
+		for i, a := range u.args {
+			args[i] = walk(a)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		out := u
+		if changed {
+			out = f.rebuild(u, args)
+		}
+		cache[u] = out
+		return out
+	}
+	return walk(t)
+}
+
+// rebuild reconstructs a term like u but with new arguments, going through
+// the simplifying constructors.
+func (f *Factory) rebuild(u *Term, args []*Term) *Term {
+	switch u.op {
+	case OpNot:
+		return f.Not(args[0])
+	case OpAnd:
+		return f.And(args...)
+	case OpOr:
+		return f.Or(args...)
+	case OpXor:
+		return f.Xor(args[0], args[1])
+	case OpImplies:
+		return f.Implies(args[0], args[1])
+	case OpIte:
+		return f.Ite(args[0], args[1], args[2])
+	case OpEq:
+		return f.Eq(args[0], args[1])
+	case OpUlt:
+		return f.Ult(args[0], args[1])
+	case OpUle:
+		return f.Ule(args[0], args[1])
+	case OpSlt:
+		return f.Slt(args[0], args[1])
+	case OpSle:
+		return f.Sle(args[0], args[1])
+	case OpAdd:
+		return f.Add(args[0], args[1])
+	case OpSub:
+		return f.Sub(args[0], args[1])
+	case OpNeg:
+		return f.Neg(args[0])
+	case OpMul:
+		return f.Mul(args[0], args[1])
+	case OpBVAnd:
+		return f.BVAnd(args[0], args[1])
+	case OpBVOr:
+		return f.BVOr(args[0], args[1])
+	case OpBVXor:
+		return f.BVXor(args[0], args[1])
+	case OpBVNot:
+		return f.BVNot(args[0])
+	case OpShl:
+		return f.Shl(args[0], args[1])
+	case OpLshr:
+		return f.Lshr(args[0], args[1])
+	case OpAshr:
+		return f.Ashr(args[0], args[1])
+	case OpConcat:
+		return f.Concat(args[0], args[1])
+	case OpExtract:
+		return f.Extract(args[0], u.hi, u.lo)
+	case OpZExt:
+		return f.ZExt(args[0], u.sort.Width)
+	case OpSExt:
+		return f.SExt(args[0], u.sort.Width)
+	default:
+		panic(fmt.Sprintf("smt: rebuild: unexpected op %v", u.op))
+	}
+}

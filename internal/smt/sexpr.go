@@ -1,0 +1,382 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Serialize renders t as an SMT-LIB-flavoured S-expression that Parse can
+// read back. Variable names are pipe-quoted (they contain '$', '#', '.').
+// The DAG is expanded to a tree; assertion terms are small, so this is
+// acceptable for the spec file format.
+func Serialize(t *Term) string {
+	var b strings.Builder
+	serialize(t, &b)
+	return b.String()
+}
+
+func serialize(t *Term, b *strings.Builder) {
+	switch t.op {
+	case OpTrue:
+		b.WriteString("true")
+	case OpFalse:
+		b.WriteString("false")
+	case OpVar:
+		b.WriteString("|")
+		b.WriteString(t.name)
+		b.WriteString("|")
+	case OpConst:
+		fmt.Fprintf(b, "(_ bv%s %d)", t.val.Text(10), t.sort.Width)
+	case OpExtract:
+		fmt.Fprintf(b, "((_ extract %d %d) ", t.hi, t.lo)
+		serialize(t.args[0], b)
+		b.WriteString(")")
+	case OpZExt:
+		fmt.Fprintf(b, "((_ zero_extend %d) ", t.sort.Width-t.args[0].sort.Width)
+		serialize(t.args[0], b)
+		b.WriteString(")")
+	case OpSExt:
+		fmt.Fprintf(b, "((_ sign_extend %d) ", t.sort.Width-t.args[0].sort.Width)
+		serialize(t.args[0], b)
+		b.WriteString(")")
+	default:
+		b.WriteString("(")
+		b.WriteString(t.op.String())
+		for _, a := range t.args {
+			b.WriteString(" ")
+			serialize(a, b)
+		}
+		b.WriteString(")")
+	}
+}
+
+// VarSorts is a name→sort mapping used when parsing serialized terms.
+type VarSorts map[string]Sort
+
+// Parse reads a serialized term back. Unknown variables are an error; the
+// caller provides the sort environment (the spec file carries it).
+func Parse(f *Factory, src string, sorts VarSorts) (*Term, error) {
+	p := &sexprParser{src: src, f: f, sorts: sorts}
+	t, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("smt: trailing input at %d", p.pos)
+	}
+	return t, nil
+}
+
+type sexprParser struct {
+	src   string
+	pos   int
+	f     *Factory
+	sorts VarSorts
+}
+
+func (p *sexprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\n' || p.src[p.pos] == '\t' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *sexprParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("smt: parse at %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *sexprParser) token() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return "", p.errf("unexpected end of input")
+	}
+	start := p.pos
+	switch c := p.src[p.pos]; {
+	case c == '(' || c == ')':
+		p.pos++
+		return p.src[start:p.pos], nil
+	case c == '|':
+		p.pos++
+		for p.pos < len(p.src) && p.src[p.pos] != '|' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return "", p.errf("unterminated variable name")
+		}
+		p.pos++
+		return p.src[start:p.pos], nil
+	default:
+		for p.pos < len(p.src) && !strings.ContainsRune(" \t\n\r()", rune(p.src[p.pos])) {
+			p.pos++
+		}
+		return p.src[start:p.pos], nil
+	}
+}
+
+func (p *sexprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *sexprParser) parse() (*Term, error) {
+	tok, err := p.token()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case tok == "true":
+		return p.f.True(), nil
+	case tok == "false":
+		return p.f.False(), nil
+	case strings.HasPrefix(tok, "|"):
+		name := tok[1 : len(tok)-1]
+		sort, ok := p.sorts[name]
+		if !ok {
+			return nil, p.errf("unknown variable %q", name)
+		}
+		return p.f.Var(name, sort), nil
+	case tok == "(":
+		return p.parseApp()
+	default:
+		return nil, p.errf("unexpected token %q", tok)
+	}
+}
+
+func (p *sexprParser) parseApp() (*Term, error) {
+	// Either (_ bvN w), ((_ extract h l) t), or (op args...).
+	if p.peek() == '(' {
+		// ((_ indexed-op ...) arg)
+		if _, err := p.token(); err != nil { // consume '('
+			return nil, err
+		}
+		head, err := p.token()
+		if err != nil {
+			return nil, err
+		}
+		if head != "_" {
+			return nil, p.errf("expected indexed operator, got %q", head)
+		}
+		op, err := p.token()
+		if err != nil {
+			return nil, err
+		}
+		var i1, i2 int
+		switch op {
+		case "extract":
+			if _, err := fmt.Sscanf(p.remainderToken()+" "+p.remainderToken(), "%d %d", &i1, &i2); err != nil {
+				return nil, p.errf("bad extract indices")
+			}
+		case "zero_extend", "sign_extend":
+			if _, err := fmt.Sscanf(p.remainderToken(), "%d", &i1); err != nil {
+				return nil, p.errf("bad extend amount")
+			}
+		default:
+			return nil, p.errf("unknown indexed op %q", op)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		arg, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		switch op {
+		case "extract":
+			return p.f.Extract(arg, i1, i2), nil
+		case "zero_extend":
+			return p.f.ZExt(arg, arg.Sort().Width+i1), nil
+		default:
+			return p.f.SExt(arg, arg.Sort().Width+i1), nil
+		}
+	}
+	head, err := p.token()
+	if err != nil {
+		return nil, err
+	}
+	if head == "_" {
+		// (_ bvN w)
+		lit, err := p.token()
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(lit, "bv") {
+			return nil, p.errf("expected bv literal, got %q", lit)
+		}
+		v, ok := new(big.Int).SetString(lit[2:], 10)
+		if !ok {
+			return nil, p.errf("bad bv literal %q", lit)
+		}
+		wTok, err := p.token()
+		if err != nil {
+			return nil, err
+		}
+		var w int
+		if _, err := fmt.Sscanf(wTok, "%d", &w); err != nil {
+			return nil, p.errf("bad width %q", wTok)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return p.f.BVConst(v, w), nil
+	}
+	var args []*Term
+	for p.peek() != ')' && p.peek() != 0 {
+		a, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return p.apply(head, args)
+}
+
+func (p *sexprParser) remainderToken() string {
+	tok, err := p.token()
+	if err != nil {
+		return ""
+	}
+	return tok
+}
+
+func (p *sexprParser) expect(tok string) error {
+	got, err := p.token()
+	if err != nil {
+		return err
+	}
+	if got != tok {
+		return p.errf("expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+func (p *sexprParser) apply(op string, args []*Term) (*Term, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return p.errf("operator %s needs %d args, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	switch op {
+	case "not":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return p.f.Not(args[0]), nil
+	case "and":
+		return p.f.And(args...), nil
+	case "or":
+		return p.f.Or(args...), nil
+	case "xor":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Xor(args[0], args[1]), nil
+	case "=>":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Implies(args[0], args[1]), nil
+	case "ite":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return p.f.Ite(args[0], args[1], args[2]), nil
+	case "=":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Eq(args[0], args[1]), nil
+	case "bvult":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Ult(args[0], args[1]), nil
+	case "bvule":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Ule(args[0], args[1]), nil
+	case "bvslt":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Slt(args[0], args[1]), nil
+	case "bvsle":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Sle(args[0], args[1]), nil
+	case "bvadd":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Add(args[0], args[1]), nil
+	case "bvsub":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Sub(args[0], args[1]), nil
+	case "bvneg":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return p.f.Neg(args[0]), nil
+	case "bvmul":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Mul(args[0], args[1]), nil
+	case "bvand":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.BVAnd(args[0], args[1]), nil
+	case "bvor":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.BVOr(args[0], args[1]), nil
+	case "bvxor":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.BVXor(args[0], args[1]), nil
+	case "bvnot":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return p.f.BVNot(args[0]), nil
+	case "bvshl":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Shl(args[0], args[1]), nil
+	case "bvlshr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Lshr(args[0], args[1]), nil
+	case "bvashr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Ashr(args[0], args[1]), nil
+	case "concat":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return p.f.Concat(args[0], args[1]), nil
+	default:
+		return nil, p.errf("unknown operator %q", op)
+	}
+}

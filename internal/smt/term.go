@@ -1,0 +1,868 @@
+// Package smt provides a hash-consed term representation for quantifier-free
+// bitvector logic (QF_BV) with booleans — the fragment bf4's verification
+// conditions live in. Terms are immutable DAG nodes created through a
+// Factory, which guarantees structural sharing: syntactically equal terms
+// are pointer-equal. This sharing is what keeps weakest-precondition
+// formulas over merged control-flow graphs polynomial in program size
+// (Flanagan–Saxe-style compact verification conditions).
+//
+// The factory performs light, evaluation-preserving simplification at
+// construction time (constant folding, identities, complement detection).
+// Heavier reasoning is delegated to internal/bitblast + internal/sat via
+// the internal/solver façade.
+package smt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Sort identifies a term's type: Bool (Width == 0) or a bitvector of the
+// given positive width.
+type Sort struct {
+	Width int
+}
+
+// BoolSort is the sort of boolean terms.
+var BoolSort = Sort{Width: 0}
+
+// BV returns the bitvector sort of width w (w >= 1).
+func BV(w int) Sort {
+	if w < 1 {
+		panic(fmt.Sprintf("smt: invalid bitvector width %d", w))
+	}
+	return Sort{Width: w}
+}
+
+// IsBool reports whether the sort is boolean.
+func (s Sort) IsBool() bool { return s.Width == 0 }
+
+func (s Sort) String() string {
+	if s.IsBool() {
+		return "Bool"
+	}
+	return fmt.Sprintf("BV%d", s.Width)
+}
+
+// Op enumerates term constructors.
+type Op uint8
+
+// Term operators. Bool-sorted: OpTrue..OpIte (OpIte may also be BV-sorted);
+// comparison ops take BV args and produce Bool; the rest are BV ops.
+const (
+	OpTrue Op = iota
+	OpFalse
+	OpVar // boolean or bitvector variable, identified by name
+	OpNot
+	OpAnd
+	OpOr
+	OpXor // boolean xor
+	OpImplies
+	OpIte // polymorphic: sort of branches
+	OpEq  // polymorphic args (both Bool or both BV w)
+
+	OpConst // bitvector constant
+	OpUlt
+	OpUle
+	OpSlt
+	OpSle
+	OpAdd
+	OpSub
+	OpNeg
+	OpMul
+	OpBVAnd
+	OpBVOr
+	OpBVXor
+	OpBVNot
+	OpShl
+	OpLshr
+	OpAshr
+	OpConcat
+	OpExtract
+	OpZExt
+	OpSExt
+)
+
+var opNames = map[Op]string{
+	OpTrue: "true", OpFalse: "false", OpVar: "var", OpNot: "not",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpImplies: "=>", OpIte: "ite",
+	OpEq: "=", OpConst: "const", OpUlt: "bvult", OpUle: "bvule",
+	OpSlt: "bvslt", OpSle: "bvsle", OpAdd: "bvadd", OpSub: "bvsub",
+	OpNeg: "bvneg", OpMul: "bvmul", OpBVAnd: "bvand", OpBVOr: "bvor",
+	OpBVXor: "bvxor", OpBVNot: "bvnot", OpShl: "bvshl", OpLshr: "bvlshr",
+	OpAshr: "bvashr", OpConcat: "concat", OpExtract: "extract",
+	OpZExt: "zext", OpSExt: "sext",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Term is an immutable, hash-consed term. Terms produced by the same
+// Factory are pointer-comparable: a == b iff they are structurally equal.
+type Term struct {
+	id   uint32
+	op   Op
+	sort Sort
+	args []*Term
+	val  *big.Int // OpConst only, normalized to [0, 2^w)
+	name string   // OpVar only
+	lo   int      // OpExtract only
+	hi   int      // OpExtract only
+}
+
+// ID returns a factory-unique identifier, usable as a map key.
+func (t *Term) ID() uint32 { return t.id }
+
+// Op returns the term's constructor.
+func (t *Term) Op() Op { return t.op }
+
+// Sort returns the term's sort.
+func (t *Term) Sort() Sort { return t.sort }
+
+// Args returns the argument terms. The caller must not modify the slice.
+func (t *Term) Args() []*Term { return t.args }
+
+// Arg returns the i-th argument.
+func (t *Term) Arg(i int) *Term { return t.args[i] }
+
+// Name returns the variable name (OpVar only).
+func (t *Term) Name() string { return t.name }
+
+// Const returns the constant value (OpConst only). Callers must not
+// mutate the returned value.
+func (t *Term) Const() *big.Int { return t.val }
+
+// ExtractBounds returns (hi, lo) for OpExtract terms.
+func (t *Term) ExtractBounds() (hi, lo int) { return t.hi, t.lo }
+
+// IsTrue reports whether t is the constant true.
+func (t *Term) IsTrue() bool { return t.op == OpTrue }
+
+// IsFalse reports whether t is the constant false.
+func (t *Term) IsFalse() bool { return t.op == OpFalse }
+
+// IsConst reports whether t is a bitvector constant.
+func (t *Term) IsConst() bool { return t.op == OpConst }
+
+// String renders the term as an S-expression. Intended for debugging and
+// error messages, not serialization (the DAG is expanded to a tree).
+func (t *Term) String() string {
+	var b strings.Builder
+	t.write(&b, map[*Term]bool{}, 0)
+	return b.String()
+}
+
+func (t *Term) write(b *strings.Builder, seen map[*Term]bool, depth int) {
+	switch t.op {
+	case OpTrue:
+		b.WriteString("true")
+	case OpFalse:
+		b.WriteString("false")
+	case OpVar:
+		b.WriteString(t.name)
+	case OpConst:
+		fmt.Fprintf(b, "#x%s[%d]", t.val.Text(16), t.sort.Width)
+	case OpExtract:
+		fmt.Fprintf(b, "((_ extract %d %d) ", t.hi, t.lo)
+		t.args[0].write(b, seen, depth+1)
+		b.WriteString(")")
+	case OpZExt, OpSExt:
+		fmt.Fprintf(b, "((_ %s %d) ", t.op, t.sort.Width-t.args[0].sort.Width)
+		t.args[0].write(b, seen, depth+1)
+		b.WriteString(")")
+	default:
+		b.WriteString("(")
+		b.WriteString(t.op.String())
+		for _, a := range t.args {
+			b.WriteString(" ")
+			if depth > 16 {
+				fmt.Fprintf(b, "@%d", a.id)
+				continue
+			}
+			a.write(b, seen, depth+1)
+		}
+		b.WriteString(")")
+	}
+}
+
+// Vars appends to dst all distinct variables occurring in t and returns
+// the extended slice.
+func (t *Term) Vars(dst []*Term) []*Term {
+	seen := map[*Term]bool{}
+	var walk func(*Term)
+	walk = func(u *Term) {
+		if seen[u] {
+			return
+		}
+		seen[u] = true
+		if u.op == OpVar {
+			dst = append(dst, u)
+			return
+		}
+		for _, a := range u.args {
+			walk(a)
+		}
+	}
+	walk(t)
+	return dst
+}
+
+// Size returns the number of distinct DAG nodes reachable from t.
+func (t *Term) Size() int {
+	seen := map[*Term]bool{}
+	var walk func(*Term)
+	walk = func(u *Term) {
+		if seen[u] {
+			return
+		}
+		seen[u] = true
+		for _, a := range u.args {
+			walk(a)
+		}
+	}
+	walk(t)
+	return len(seen)
+}
+
+// TreeSize returns the size of t expanded as a tree, capped at limit
+// (returns limit if exceeded). Used to measure the benefit of DAG sharing.
+func (t *Term) TreeSize(limit int) int {
+	var walk func(*Term, int) int
+	walk = func(u *Term, budget int) int {
+		if budget <= 0 {
+			return 0
+		}
+		n := 1
+		for _, a := range u.args {
+			n += walk(a, budget-n)
+			if n >= budget {
+				return budget
+			}
+		}
+		return n
+	}
+	return walk(t, limit)
+}
+
+// Factory creates and hash-conses terms. The zero value is not usable;
+// call NewFactory. A Factory is not safe for concurrent use.
+type Factory struct {
+	table  map[string]*Term
+	nextID uint32
+	true_  *Term
+	false_ *Term
+}
+
+// NewFactory returns an empty term factory with interned true/false.
+func NewFactory() *Factory {
+	f := &Factory{table: make(map[string]*Term)}
+	f.true_ = f.intern(&Term{op: OpTrue, sort: BoolSort})
+	f.false_ = f.intern(&Term{op: OpFalse, sort: BoolSort})
+	return f
+}
+
+// NumTerms returns the number of distinct terms created so far, a proxy
+// for formula memory footprint.
+func (f *Factory) NumTerms() int { return len(f.table) }
+
+func (f *Factory) key(t *Term) string {
+	var b strings.Builder
+	b.Grow(16 + 4*len(t.args))
+	b.WriteByte(byte(t.op))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(t.sort.Width))
+	b.Write(tmp[:4])
+	switch t.op {
+	case OpVar:
+		b.WriteString(t.name)
+	case OpConst:
+		b.WriteString(t.val.Text(62))
+	case OpExtract:
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(t.lo))
+		binary.LittleEndian.PutUint32(tmp[4:], uint32(t.hi))
+		b.Write(tmp[:])
+	}
+	for _, a := range t.args {
+		binary.LittleEndian.PutUint32(tmp[:4], a.id)
+		b.Write(tmp[:4])
+	}
+	return b.String()
+}
+
+func (f *Factory) intern(t *Term) *Term {
+	k := f.key(t)
+	if existing, ok := f.table[k]; ok {
+		return existing
+	}
+	t.id = f.nextID
+	f.nextID++
+	f.table[k] = t
+	return t
+}
+
+// True returns the boolean constant true.
+func (f *Factory) True() *Term { return f.true_ }
+
+// False returns the boolean constant false.
+func (f *Factory) False() *Term { return f.false_ }
+
+// Bool returns the boolean constant for b.
+func (f *Factory) Bool(b bool) *Term {
+	if b {
+		return f.true_
+	}
+	return f.false_
+}
+
+// BoolVar returns the boolean variable named name.
+func (f *Factory) BoolVar(name string) *Term {
+	return f.intern(&Term{op: OpVar, sort: BoolSort, name: name})
+}
+
+// BVVar returns the bitvector variable named name of width w.
+func (f *Factory) BVVar(name string, w int) *Term {
+	return f.intern(&Term{op: OpVar, sort: BV(w), name: name})
+}
+
+// Var returns a variable of the given sort.
+func (f *Factory) Var(name string, s Sort) *Term {
+	if s.IsBool() {
+		return f.BoolVar(name)
+	}
+	return f.BVVar(name, s.Width)
+}
+
+var bigOne = big.NewInt(1)
+
+// maskFor returns 2^w - 1.
+func maskFor(w int) *big.Int {
+	m := new(big.Int).Lsh(bigOne, uint(w))
+	return m.Sub(m, bigOne)
+}
+
+// BVConst returns the bitvector constant v (mod 2^w) of width w.
+func (f *Factory) BVConst(v *big.Int, w int) *Term {
+	nv := new(big.Int).And(new(big.Int).Set(v), maskFor(w))
+	if v.Sign() < 0 {
+		nv = new(big.Int).Set(v)
+		nv.Mod(nv, new(big.Int).Lsh(bigOne, uint(w)))
+		if nv.Sign() < 0 {
+			nv.Add(nv, new(big.Int).Lsh(bigOne, uint(w)))
+		}
+	}
+	return f.intern(&Term{op: OpConst, sort: BV(w), val: nv})
+}
+
+// BVConst64 returns the bitvector constant v (mod 2^w) of width w.
+func (f *Factory) BVConst64(v int64, w int) *Term {
+	return f.BVConst(big.NewInt(v), w)
+}
+
+// Not returns the boolean negation of a.
+func (f *Factory) Not(a *Term) *Term {
+	mustBool(a)
+	switch {
+	case a.IsTrue():
+		return f.false_
+	case a.IsFalse():
+		return f.true_
+	case a.op == OpNot:
+		return a.args[0]
+	}
+	return f.intern(&Term{op: OpNot, sort: BoolSort, args: []*Term{a}})
+}
+
+// And returns the conjunction of args, simplifying constants, duplicates
+// and complementary pairs. And() is true.
+func (f *Factory) And(args ...*Term) *Term {
+	return f.nary(OpAnd, args)
+}
+
+// Or returns the disjunction of args. Or() is false.
+func (f *Factory) Or(args ...*Term) *Term {
+	return f.nary(OpOr, args)
+}
+
+func (f *Factory) nary(op Op, args []*Term) *Term {
+	neutral, absorbing := f.true_, f.false_
+	if op == OpOr {
+		neutral, absorbing = f.false_, f.true_
+	}
+	flat := make([]*Term, 0, len(args))
+	seen := map[*Term]bool{}
+	for _, a := range args {
+		mustBool(a)
+		if a == absorbing {
+			return absorbing
+		}
+		if a == neutral {
+			continue
+		}
+		// Flatten one level of the same operator.
+		sub := []*Term{a}
+		if a.op == op {
+			sub = a.args
+		}
+		for _, s := range sub {
+			if s == absorbing {
+				return absorbing
+			}
+			if s == neutral || seen[s] {
+				continue
+			}
+			seen[s] = true
+			flat = append(flat, s)
+		}
+	}
+	// Complement detection: x and not(x) together collapse.
+	for _, a := range flat {
+		if a.op == OpNot && seen[a.args[0]] {
+			return absorbing
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return neutral
+	case 1:
+		return flat[0]
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].id < flat[j].id })
+	return f.intern(&Term{op: op, sort: BoolSort, args: flat})
+}
+
+// Xor returns the boolean exclusive-or of a and b.
+func (f *Factory) Xor(a, b *Term) *Term {
+	mustBool(a)
+	mustBool(b)
+	switch {
+	case a == b:
+		return f.false_
+	case a.IsFalse():
+		return b
+	case b.IsFalse():
+		return a
+	case a.IsTrue():
+		return f.Not(b)
+	case b.IsTrue():
+		return f.Not(a)
+	}
+	if a.id > b.id {
+		a, b = b, a
+	}
+	return f.intern(&Term{op: OpXor, sort: BoolSort, args: []*Term{a, b}})
+}
+
+// Implies returns a -> b.
+func (f *Factory) Implies(a, b *Term) *Term {
+	return f.Or(f.Not(a), b)
+}
+
+// Iff returns a <-> b.
+func (f *Factory) Iff(a, b *Term) *Term {
+	return f.Not(f.Xor(a, b))
+}
+
+// Ite returns if cond then a else b. The branches must share a sort; the
+// result has that sort (Bool or BV).
+func (f *Factory) Ite(cond, a, b *Term) *Term {
+	mustBool(cond)
+	if a.sort != b.sort {
+		panic(fmt.Sprintf("smt: ite branch sorts differ: %v vs %v", a.sort, b.sort))
+	}
+	switch {
+	case cond.IsTrue():
+		return a
+	case cond.IsFalse():
+		return b
+	case a == b:
+		return a
+	}
+	if a.sort.IsBool() {
+		// Encode boolean ite structurally for better downstream handling.
+		return f.Or(f.And(cond, a), f.And(f.Not(cond), b))
+	}
+	// ite(u == c, c, c') over width-1 vectors with distinct constants is
+	// just u (the isValid()-as-key encoding; simplifying it keeps inferred
+	// assertions readable).
+	if a.sort.Width == 1 && a.IsConst() && b.IsConst() && a.val.Cmp(b.val) != 0 && cond.op == OpEq {
+		x, y := cond.args[0], cond.args[1]
+		if y.IsConst() && !x.IsConst() && y.val.Cmp(a.val) == 0 && x.sort == a.sort {
+			return x
+		}
+		if x.IsConst() && !y.IsConst() && x.val.Cmp(a.val) == 0 && y.sort == a.sort {
+			return y
+		}
+	}
+	return f.intern(&Term{op: OpIte, sort: a.sort, args: []*Term{cond, a, b}})
+}
+
+// Eq returns a = b for same-sorted terms.
+func (f *Factory) Eq(a, b *Term) *Term {
+	if a.sort != b.sort {
+		panic(fmt.Sprintf("smt: eq sorts differ: %v vs %v", a.sort, b.sort))
+	}
+	if a == b {
+		return f.true_
+	}
+	if a.sort.IsBool() {
+		return f.Iff(a, b)
+	}
+	if a.IsConst() && b.IsConst() {
+		return f.Bool(a.val.Cmp(b.val) == 0)
+	}
+	if a.id > b.id {
+		a, b = b, a
+	}
+	return f.intern(&Term{op: OpEq, sort: BoolSort, args: []*Term{a, b}})
+}
+
+// Distinct returns a != b.
+func (f *Factory) Distinct(a, b *Term) *Term { return f.Not(f.Eq(a, b)) }
+
+func mustBool(t *Term) {
+	if !t.sort.IsBool() {
+		panic(fmt.Sprintf("smt: expected Bool, got %v in %s", t.sort, t))
+	}
+}
+
+func mustBV(t *Term) int {
+	if t.sort.IsBool() {
+		panic(fmt.Sprintf("smt: expected bitvector, got Bool in %s", t))
+	}
+	return t.sort.Width
+}
+
+func mustSameWidth(a, b *Term) int {
+	wa, wb := mustBV(a), mustBV(b)
+	if wa != wb {
+		panic(fmt.Sprintf("smt: width mismatch %d vs %d (%s vs %s)", wa, wb, a, b))
+	}
+	return wa
+}
+
+func (f *Factory) binBV(op Op, a, b *Term, fold func(x, y *big.Int, w int) *big.Int, comm bool) *Term {
+	w := mustSameWidth(a, b)
+	if a.IsConst() && b.IsConst() {
+		return f.BVConst(fold(a.val, b.val, w), w)
+	}
+	if comm && a.id > b.id {
+		a, b = b, a
+	}
+	return f.intern(&Term{op: op, sort: BV(w), args: []*Term{a, b}})
+}
+
+// Add returns a + b (mod 2^w).
+func (f *Factory) Add(a, b *Term) *Term {
+	if a.IsConst() && a.val.Sign() == 0 {
+		return b
+	}
+	if b.IsConst() && b.val.Sign() == 0 {
+		return a
+	}
+	return f.binBV(OpAdd, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).Add(x, y)
+	}, true)
+}
+
+// Sub returns a - b (mod 2^w).
+func (f *Factory) Sub(a, b *Term) *Term {
+	if b.IsConst() && b.val.Sign() == 0 {
+		return a
+	}
+	if a == b {
+		return f.BVConst64(0, a.sort.Width)
+	}
+	return f.binBV(OpSub, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).Sub(x, y)
+	}, false)
+}
+
+// Neg returns -a (mod 2^w).
+func (f *Factory) Neg(a *Term) *Term {
+	w := mustBV(a)
+	if a.IsConst() {
+		return f.BVConst(new(big.Int).Neg(a.val), w)
+	}
+	return f.intern(&Term{op: OpNeg, sort: BV(w), args: []*Term{a}})
+}
+
+// Mul returns a * b (mod 2^w).
+func (f *Factory) Mul(a, b *Term) *Term {
+	if a.IsConst() {
+		if a.val.Sign() == 0 {
+			return a
+		}
+		if a.val.Cmp(bigOne) == 0 {
+			return b
+		}
+	}
+	if b.IsConst() {
+		if b.val.Sign() == 0 {
+			return b
+		}
+		if b.val.Cmp(bigOne) == 0 {
+			return a
+		}
+	}
+	return f.binBV(OpMul, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).Mul(x, y)
+	}, true)
+}
+
+// BVAnd returns the bitwise conjunction of a and b.
+func (f *Factory) BVAnd(a, b *Term) *Term {
+	w := mustSameWidth(a, b)
+	if a == b {
+		return a
+	}
+	if a.IsConst() {
+		if a.val.Sign() == 0 {
+			return a
+		}
+		if a.val.Cmp(maskFor(w)) == 0 {
+			return b
+		}
+	}
+	if b.IsConst() {
+		if b.val.Sign() == 0 {
+			return b
+		}
+		if b.val.Cmp(maskFor(w)) == 0 {
+			return a
+		}
+	}
+	return f.binBV(OpBVAnd, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).And(x, y)
+	}, true)
+}
+
+// BVOr returns the bitwise disjunction of a and b.
+func (f *Factory) BVOr(a, b *Term) *Term {
+	w := mustSameWidth(a, b)
+	if a == b {
+		return a
+	}
+	if a.IsConst() {
+		if a.val.Sign() == 0 {
+			return b
+		}
+		if a.val.Cmp(maskFor(w)) == 0 {
+			return a
+		}
+	}
+	if b.IsConst() {
+		if b.val.Sign() == 0 {
+			return a
+		}
+		if b.val.Cmp(maskFor(w)) == 0 {
+			return b
+		}
+	}
+	return f.binBV(OpBVOr, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).Or(x, y)
+	}, true)
+}
+
+// BVXor returns the bitwise exclusive-or of a and b.
+func (f *Factory) BVXor(a, b *Term) *Term {
+	w := mustSameWidth(a, b)
+	if a == b {
+		return f.BVConst64(0, w)
+	}
+	return f.binBV(OpBVXor, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).Xor(x, y)
+	}, true)
+}
+
+// BVNot returns the bitwise complement of a.
+func (f *Factory) BVNot(a *Term) *Term {
+	w := mustBV(a)
+	if a.IsConst() {
+		return f.BVConst(new(big.Int).Xor(a.val, maskFor(w)), w)
+	}
+	if a.op == OpBVNot {
+		return a.args[0]
+	}
+	return f.intern(&Term{op: OpBVNot, sort: BV(w), args: []*Term{a}})
+}
+
+// Shl returns a << b (filling with zeros, shift amount unsigned).
+func (f *Factory) Shl(a, b *Term) *Term {
+	if b.IsConst() && b.val.Sign() == 0 {
+		return a
+	}
+	return f.binBV(OpShl, a, b, func(x, y *big.Int, w int) *big.Int {
+		if y.Cmp(big.NewInt(int64(w))) >= 0 {
+			return new(big.Int)
+		}
+		return new(big.Int).Lsh(x, uint(y.Uint64()))
+	}, false)
+}
+
+// Lshr returns a >> b (logical, zero-filling).
+func (f *Factory) Lshr(a, b *Term) *Term {
+	if b.IsConst() && b.val.Sign() == 0 {
+		return a
+	}
+	return f.binBV(OpLshr, a, b, func(x, y *big.Int, w int) *big.Int {
+		if y.Cmp(big.NewInt(int64(w))) >= 0 {
+			return new(big.Int)
+		}
+		return new(big.Int).Rsh(x, uint(y.Uint64()))
+	}, false)
+}
+
+// Ashr returns a >> b (arithmetic, sign-filling).
+func (f *Factory) Ashr(a, b *Term) *Term {
+	if b.IsConst() && b.val.Sign() == 0 {
+		return a
+	}
+	return f.binBV(OpAshr, a, b, func(x, y *big.Int, w int) *big.Int {
+		s := toSigned(x, w)
+		sh := uint(w)
+		if y.Cmp(big.NewInt(int64(w))) < 0 {
+			sh = uint(y.Uint64())
+		}
+		return new(big.Int).Rsh(s, sh)
+	}, false)
+}
+
+// Ult returns the unsigned comparison a < b.
+func (f *Factory) Ult(a, b *Term) *Term {
+	mustSameWidth(a, b)
+	if a == b {
+		return f.false_
+	}
+	if a.IsConst() && b.IsConst() {
+		return f.Bool(a.val.Cmp(b.val) < 0)
+	}
+	return f.intern(&Term{op: OpUlt, sort: BoolSort, args: []*Term{a, b}})
+}
+
+// Ule returns the unsigned comparison a <= b.
+func (f *Factory) Ule(a, b *Term) *Term {
+	mustSameWidth(a, b)
+	if a == b {
+		return f.true_
+	}
+	if a.IsConst() && b.IsConst() {
+		return f.Bool(a.val.Cmp(b.val) <= 0)
+	}
+	return f.intern(&Term{op: OpUle, sort: BoolSort, args: []*Term{a, b}})
+}
+
+// Ugt returns a > b (unsigned).
+func (f *Factory) Ugt(a, b *Term) *Term { return f.Ult(b, a) }
+
+// Uge returns a >= b (unsigned).
+func (f *Factory) Uge(a, b *Term) *Term { return f.Ule(b, a) }
+
+// Slt returns the signed comparison a < b.
+func (f *Factory) Slt(a, b *Term) *Term {
+	w := mustSameWidth(a, b)
+	if a == b {
+		return f.false_
+	}
+	if a.IsConst() && b.IsConst() {
+		return f.Bool(toSigned(a.val, w).Cmp(toSigned(b.val, w)) < 0)
+	}
+	return f.intern(&Term{op: OpSlt, sort: BoolSort, args: []*Term{a, b}})
+}
+
+// Sle returns the signed comparison a <= b.
+func (f *Factory) Sle(a, b *Term) *Term {
+	w := mustSameWidth(a, b)
+	if a == b {
+		return f.true_
+	}
+	if a.IsConst() && b.IsConst() {
+		return f.Bool(toSigned(a.val, w).Cmp(toSigned(b.val, w)) <= 0)
+	}
+	return f.intern(&Term{op: OpSle, sort: BoolSort, args: []*Term{a, b}})
+}
+
+// Concat returns the concatenation a ++ b, with a providing the
+// high-order bits.
+func (f *Factory) Concat(a, b *Term) *Term {
+	wa, wb := mustBV(a), mustBV(b)
+	if a.IsConst() && b.IsConst() {
+		v := new(big.Int).Lsh(a.val, uint(wb))
+		v.Or(v, b.val)
+		return f.BVConst(v, wa+wb)
+	}
+	return f.intern(&Term{op: OpConcat, sort: BV(wa + wb), args: []*Term{a, b}})
+}
+
+// Extract returns bits hi..lo of a (inclusive), a bitvector of width
+// hi-lo+1.
+func (f *Factory) Extract(a *Term, hi, lo int) *Term {
+	w := mustBV(a)
+	if lo < 0 || hi < lo || hi >= w {
+		panic(fmt.Sprintf("smt: extract [%d:%d] out of range for width %d", hi, lo, w))
+	}
+	if lo == 0 && hi == w-1 {
+		return a
+	}
+	if a.IsConst() {
+		v := new(big.Int).Rsh(a.val, uint(lo))
+		return f.BVConst(v, hi-lo+1)
+	}
+	if a.op == OpExtract {
+		return f.Extract(a.args[0], a.lo+hi, a.lo+lo)
+	}
+	return f.intern(&Term{op: OpExtract, sort: BV(hi - lo + 1), args: []*Term{a}, lo: lo, hi: hi})
+}
+
+// ZExt zero-extends a to width w.
+func (f *Factory) ZExt(a *Term, w int) *Term {
+	wa := mustBV(a)
+	if w == wa {
+		return a
+	}
+	if w < wa {
+		panic(fmt.Sprintf("smt: zext to narrower width %d < %d", w, wa))
+	}
+	if a.IsConst() {
+		return f.BVConst(a.val, w)
+	}
+	return f.intern(&Term{op: OpZExt, sort: BV(w), args: []*Term{a}})
+}
+
+// SExt sign-extends a to width w.
+func (f *Factory) SExt(a *Term, w int) *Term {
+	wa := mustBV(a)
+	if w == wa {
+		return a
+	}
+	if w < wa {
+		panic(fmt.Sprintf("smt: sext to narrower width %d < %d", w, wa))
+	}
+	if a.IsConst() {
+		return f.BVConst(toSigned(a.val, wa), w)
+	}
+	return f.intern(&Term{op: OpSExt, sort: BV(w), args: []*Term{a}})
+}
+
+// Resize zero-extends or truncates a to width w, the semantics of P4
+// implicit casts between unsigned widths.
+func (f *Factory) Resize(a *Term, w int) *Term {
+	wa := mustBV(a)
+	switch {
+	case w == wa:
+		return a
+	case w > wa:
+		return f.ZExt(a, w)
+	default:
+		return f.Extract(a, w-1, 0)
+	}
+}
+
+// toSigned interprets v (in [0,2^w)) as a w-bit two's complement value.
+func toSigned(v *big.Int, w int) *big.Int {
+	if v.Bit(w-1) == 0 {
+		return new(big.Int).Set(v)
+	}
+	return new(big.Int).Sub(v, new(big.Int).Lsh(bigOne, uint(w)))
+}

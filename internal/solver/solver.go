@@ -1,0 +1,143 @@
+// Package solver is the Z3-like façade bf4's algorithms program against:
+// assert formulas, check satisfiability under assumptions, extract models
+// and unsat cores. It glues the hash-consed term layer (internal/smt) to
+// the bit-blaster (internal/bitblast) and the CDCL core (internal/sat),
+// and is incremental: learned clauses and blasted circuitry persist across
+// Check calls, which is what makes the per-bug reachability queries and
+// Infer's model/core loop cheap after the first call.
+package solver
+
+import (
+	"math/big"
+
+	"bf4/internal/bitblast"
+	"bf4/internal/sat"
+	"bf4/internal/smt"
+)
+
+// Result mirrors sat.Result at the SMT level.
+type Result = sat.Result
+
+// Re-exported results for call-site readability.
+const (
+	Sat     = sat.Sat
+	Unsat   = sat.Unsat
+	Unknown = sat.Unknown
+)
+
+// Solver is an incremental QF_BV solver. Create with New; not safe for
+// concurrent use.
+type Solver struct {
+	f    *smt.Factory
+	sat  *sat.Solver
+	ctx  *bitblast.Context
+	vars map[*smt.Term]bool // variables seen so far, for model extraction
+
+	lastCore []*smt.Term
+	checks   int
+}
+
+// New returns an empty solver over the given term factory.
+func New(f *smt.Factory) *Solver {
+	s := sat.New()
+	return &Solver{
+		f:    f,
+		sat:  s,
+		ctx:  bitblast.New(f, s),
+		vars: make(map[*smt.Term]bool),
+	}
+}
+
+// Factory returns the term factory this solver builds on.
+func (s *Solver) Factory() *smt.Factory { return s.f }
+
+// NumChecks returns the number of Check calls made, a useful statistic for
+// the evaluation harness.
+func (s *Solver) NumChecks() int { return s.checks }
+
+// SetConflictBudget bounds each subsequent Check call to approximately n
+// conflicts; 0 removes the bound. Budgeted checks may return Unknown.
+func (s *Solver) SetConflictBudget(n int64) { s.sat.Budget.Conflicts = n }
+
+func (s *Solver) registerVars(t *smt.Term) {
+	for _, v := range t.Vars(nil) {
+		if s.vars[v] {
+			continue
+		}
+		s.vars[v] = true
+		// Blast the variable now so that model extraction always works,
+		// even if simplification erased it from the final circuit.
+		if v.Sort().IsBool() {
+			s.ctx.Literal(v)
+		} else {
+			s.ctx.Bits(v)
+		}
+	}
+}
+
+// Assert permanently adds t to the solver's constraint set.
+func (s *Solver) Assert(t *smt.Term) {
+	s.registerVars(t)
+	s.ctx.AssertTrue(t)
+}
+
+// Check determines satisfiability of the asserted formulas together with
+// the given assumptions. Unlike Assert, assumptions hold only for this
+// call. After Unsat, UnsatCore returns the subset of assumptions used.
+func (s *Solver) Check(assumptions ...*smt.Term) Result {
+	s.checks++
+	lits := make([]sat.Lit, 0, len(assumptions))
+	byLit := make(map[sat.Lit]*smt.Term, len(assumptions))
+	for _, a := range assumptions {
+		if a.IsTrue() {
+			continue
+		}
+		s.registerVars(a)
+		l := s.ctx.Literal(a)
+		if _, dup := byLit[l]; !dup {
+			byLit[l] = a
+			lits = append(lits, l)
+		}
+	}
+	res := s.sat.Solve(lits...)
+	if res == Unsat {
+		s.lastCore = s.lastCore[:0]
+		for _, l := range s.sat.FailedAssumptions() {
+			if t, ok := byLit[l]; ok {
+				s.lastCore = append(s.lastCore, t)
+			}
+		}
+	}
+	return res
+}
+
+// UnsatCore returns, after an Unsat Check, a subset of the assumption
+// terms sufficient for unsatisfiability. The slice is valid until the next
+// Check.
+func (s *Solver) UnsatCore() []*smt.Term { return s.lastCore }
+
+// Model returns, after a Sat Check, an environment assigning every
+// variable the solver has seen. Variables the circuit left unconstrained
+// get whatever phase the SAT solver chose.
+func (s *Solver) Model() smt.Env {
+	env := make(smt.Env, len(s.vars))
+	for v := range s.vars {
+		env[v.Name()] = s.ctx.ModelValue(v)
+	}
+	return env
+}
+
+// Value evaluates t under the current model.
+func (s *Solver) Value(t *smt.Term) *big.Int {
+	return smt.Eval(t, s.Model())
+}
+
+// ValueBool evaluates boolean t under the current model.
+func (s *Solver) ValueBool(t *smt.Term) bool {
+	return smt.EvalBool(t, s.Model())
+}
+
+// Stats reports SAT-level statistics.
+func (s *Solver) Stats() (vars, clauses int, conflicts, propagations int64) {
+	return s.sat.NumVars(), s.sat.NumClauses(), s.sat.Conflicts(), s.sat.Propagations()
+}

@@ -1,0 +1,163 @@
+package ssa
+
+// pmap is a persistent integer-keyed map implemented as a treap with
+// deterministic, key-derived priorities. History independence (same
+// contents ⇒ same tree shape, and — thanks to node interning via value
+// comparison at rebuild — heavy structural sharing) lets state diffing at
+// CFG merge points prune entire shared subtrees by pointer equality.
+type pmap struct {
+	key   int32
+	prio  uint32
+	val   interface{}
+	l, r  *pmap
+	count int32
+}
+
+// prioOf derives a pseudo-random but deterministic priority from the key.
+func prioOf(key int32) uint32 {
+	x := uint32(key) * 2654435761
+	x ^= x >> 16
+	x *= 2246822519
+	x ^= x >> 13
+	return x
+}
+
+func (m *pmap) size() int {
+	if m == nil {
+		return 0
+	}
+	return int(m.count)
+}
+
+func mk(key int32, val interface{}, l, r *pmap) *pmap {
+	return &pmap{key: key, prio: prioOf(key), val: val, l: l, r: r,
+		count: 1 + int32(l.size()) + int32(r.size())}
+}
+
+// get returns the value for key, or nil.
+func (m *pmap) get(key int32) interface{} {
+	for m != nil {
+		switch {
+		case key < m.key:
+			m = m.l
+		case key > m.key:
+			m = m.r
+		default:
+			return m.val
+		}
+	}
+	return nil
+}
+
+// set returns a new map with key set to val; the receiver is unchanged.
+func (m *pmap) set(key int32, val interface{}) *pmap {
+	if m == nil {
+		return mk(key, val, nil, nil)
+	}
+	switch {
+	case key < m.key:
+		nl := m.l.set(key, val)
+		if nl == m.l {
+			return m
+		}
+		return rebalanceLeft(m, nl)
+	case key > m.key:
+		nr := m.r.set(key, val)
+		if nr == m.r {
+			return m
+		}
+		return rebalanceRight(m, nr)
+	default:
+		if m.val == val {
+			return m
+		}
+		return mk(m.key, val, m.l, m.r)
+	}
+}
+
+func rebalanceLeft(m, nl *pmap) *pmap {
+	if nl != nil && nl.prio > m.prio {
+		// Rotate right.
+		return mk(nl.key, nl.val, nl.l, mk(m.key, m.val, nl.r, m.r))
+	}
+	return mk(m.key, m.val, nl, m.r)
+}
+
+func rebalanceRight(m, nr *pmap) *pmap {
+	if nr != nil && nr.prio > m.prio {
+		// Rotate left.
+		return mk(nr.key, nr.val, mk(m.key, m.val, m.l, nr.l), nr.r)
+	}
+	return mk(m.key, m.val, m.l, nr)
+}
+
+// split partitions m around key into (subtree with keys < key, value at
+// key or nil, subtree with keys > key). Read-only: creates fresh spine
+// nodes but never mutates m.
+func split(m *pmap, key int32) (l *pmap, val interface{}, found bool, r *pmap) {
+	if m == nil {
+		return nil, nil, false, nil
+	}
+	switch {
+	case key < m.key:
+		ll, v, f, lr := split(m.l, key)
+		return ll, v, f, mk(m.key, m.val, lr, m.r)
+	case key > m.key:
+		rl, v, f, rr := split(m.r, key)
+		return mk(m.key, m.val, m.l, rl), v, f, rr
+	default:
+		return m.l, m.val, true, m.r
+	}
+}
+
+func allKeys(m *pmap, dst []int32) []int32 {
+	if m == nil {
+		return dst
+	}
+	dst = allKeys(m.l, dst)
+	dst = append(dst, m.key)
+	return allKeys(m.r, dst)
+}
+
+// diffKeys appends to dst the keys whose values differ (or exist in only
+// one map) between a and b. Treap shapes are history-independent, so maps
+// with equal key sets align node-for-node and pointer-equal subtrees are
+// pruned — the cost is proportional to the difference, not the map size.
+// This is what keeps passification linear at CFG merge points. Unequal
+// key sets (a variable first assigned in only one branch arm) fall back
+// to a split-based walk of the divergent region.
+func diffKeys(a, b *pmap, dst []int32) []int32 {
+	if a == b {
+		return dst
+	}
+	if a == nil {
+		return allKeys(b, dst)
+	}
+	if b == nil {
+		return allKeys(a, dst)
+	}
+	if a.key == b.key {
+		if a.val != b.val {
+			dst = append(dst, a.key)
+		}
+		dst = diffKeys(a.l, b.l, dst)
+		return diffKeys(a.r, b.r, dst)
+	}
+	// Divergent shapes: split the lower-priority root's tree around the
+	// higher-priority key. Sharing is lost locally, which is fine — this
+	// region genuinely differs.
+	if a.prio > b.prio || (a.prio == b.prio && a.key < b.key) {
+		bl, bv, found, br := split(b, a.key)
+		if !found || bv != a.val {
+			dst = append(dst, a.key)
+		}
+		dst = diffKeys(a.l, bl, dst)
+		return diffKeys(a.r, br, dst)
+	}
+	al, av, found, ar := split(a, b.key)
+	if !found || av != b.val {
+		dst = append(dst, b.key)
+	}
+	dst = diffKeys(al, b.l, dst)
+	return diffKeys(ar, b.r, dst)
+}

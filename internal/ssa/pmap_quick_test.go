@@ -1,0 +1,98 @@
+package ssa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPmapMatchesMapSemantics drives the persistent treap against Go's
+// built-in map with random operation sequences.
+func TestPmapMatchesMapSemantics(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m *pmap
+		ref := map[int32]int{}
+		for op := 0; op < 200; op++ {
+			k := int32(rng.Intn(40))
+			v := rng.Intn(1000)
+			m = m.set(k, v)
+			ref[k] = v
+			// Random lookups.
+			q := int32(rng.Intn(50))
+			got := m.get(q)
+			want, ok := ref[q]
+			if !ok {
+				if got != nil {
+					return false
+				}
+			} else if got == nil || got.(int) != want {
+				return false
+			}
+		}
+		return m.size() == len(ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPmapDiffMatchesReference: diffKeys agrees with a reference diff for
+// arbitrary divergent histories.
+func TestPmapDiffMatchesReference(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var base *pmap
+		refA := map[int32]int{}
+		for i := 0; i < 50; i++ {
+			k := int32(rng.Intn(30))
+			v := rng.Intn(100)
+			base = base.set(k, v)
+			refA[k] = v
+		}
+		a, b := base, base
+		refB := map[int32]int{}
+		for k, v := range refA {
+			refB[k] = v
+		}
+		// Diverge both copies.
+		for i := 0; i < 20; i++ {
+			k := int32(rng.Intn(40))
+			v := rng.Intn(100) + 1000
+			if rng.Intn(2) == 0 {
+				a = a.set(k, v)
+				refA[k] = v
+			} else {
+				b = b.set(k, v)
+				refB[k] = v
+			}
+		}
+		want := map[int32]bool{}
+		for k, v := range refA {
+			if bv, ok := refB[k]; !ok || bv != v {
+				want[k] = true
+			}
+		}
+		for k, v := range refB {
+			if av, ok := refA[k]; !ok || av != v {
+				want[k] = true
+			}
+		}
+		got := map[int32]bool{}
+		for _, k := range diffKeys(a, b, nil) {
+			got[k] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

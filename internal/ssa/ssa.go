@@ -1,0 +1,204 @@
+// Package ssa passifies the IR: it converts the acyclic CFG to static
+// single assignment form (paper §4.1, following Flanagan–Saxe) and turns
+// every assignment into an equality constraint over versioned variables.
+// Merge points get fresh versions with per-edge equalities instead of phi
+// nodes, so downstream reachability conditions (internal/wp) are linear in
+// program size when built over the shared term DAG.
+package ssa
+
+import (
+	"fmt"
+
+	"bf4/internal/ir"
+	"bf4/internal/smt"
+)
+
+// EdgeKey identifies a CFG edge by node IDs.
+type EdgeKey struct {
+	From, To int
+}
+
+// Result is the passified form of a program.
+type Result struct {
+	P *ir.Program
+
+	// NodeCond is the constraint a node contributes when executed
+	// (assignment equalities); absent means true.
+	NodeCond map[*ir.Node]*smt.Term
+	// EdgeCond is the constraint on taking an edge: branch polarity
+	// conjoined with merge (phi) equalities; absent means true.
+	EdgeCond map[EdgeKey]*smt.Term
+	// BranchCond is the versioned branch condition of each branch node.
+	BranchCond map[*ir.Node]*smt.Term
+	// HavocTerm is the fresh versioned term a Havoc node introduced.
+	HavocTerm map[*ir.Node]*smt.Term
+	// BaseVar maps every versioned term back to its IR variable.
+	BaseVar map[*smt.Term]*ir.Var
+	// InState gives each node's incoming symbolic state: the versioned
+	// term for every variable (version 0 if untouched).
+	inState map[*ir.Node]*pmap
+
+	varByIdx []*ir.Var
+	varIdx   map[*ir.Var]int32
+	versions map[*ir.Var]int
+	f        *smt.Factory
+}
+
+// Passify converts p to passified SSA form.
+func Passify(p *ir.Program) *Result {
+	r := &Result{
+		P:          p,
+		NodeCond:   map[*ir.Node]*smt.Term{},
+		EdgeCond:   map[EdgeKey]*smt.Term{},
+		BranchCond: map[*ir.Node]*smt.Term{},
+		HavocTerm:  map[*ir.Node]*smt.Term{},
+		BaseVar:    map[*smt.Term]*ir.Var{},
+		inState:    map[*ir.Node]*pmap{},
+		varIdx:     map[*ir.Var]int32{},
+		versions:   map[*ir.Var]int{},
+		f:          p.F,
+	}
+	for i, v := range p.VarList() {
+		r.varIdx[v] = int32(i)
+		r.varByIdx = append(r.varByIdx, v)
+		r.BaseVar[v.Term] = v
+	}
+
+	topo := p.Topo()
+	outState := map[*ir.Node]*pmap{}
+	for _, n := range topo {
+		in := r.mergeState(n, outState)
+		r.inState[n] = in
+		out := in
+		switch n.Kind {
+		case ir.Assign:
+			rhs := r.subst(n.Expr, in)
+			nv := r.freshVersion(n.Var)
+			r.NodeCond[n] = r.f.Eq(nv, rhs)
+			out = in.set(r.varIdx[n.Var], nv)
+		case ir.Havoc:
+			nv := r.freshVersion(n.Var)
+			r.HavocTerm[n] = nv
+			out = in.set(r.varIdx[n.Var], nv)
+		case ir.Branch:
+			cond := r.subst(n.Expr, in)
+			r.BranchCond[n] = cond
+			if len(n.Succs) == 2 {
+				r.conjoinEdge(EdgeKey{n.ID, n.Succs[0].ID}, cond)
+				r.conjoinEdge(EdgeKey{n.ID, n.Succs[1].ID}, r.f.Not(cond))
+			}
+		}
+		outState[n] = out
+	}
+	return r
+}
+
+// termOf returns the current versioned term of v in state.
+func (r *Result) termOf(state *pmap, v *ir.Var) *smt.Term {
+	if got := state.get(r.varIdx[v]); got != nil {
+		return got.(*smt.Term)
+	}
+	return v.Term
+}
+
+// StateTerm exposes the incoming versioned term of v at node n (used by
+// trace reconstruction and Fast-Infer).
+func (r *Result) StateTerm(n *ir.Node, v *ir.Var) *smt.Term {
+	return r.termOf(r.inState[n], v)
+}
+
+func (r *Result) freshVersion(v *ir.Var) *smt.Term {
+	r.versions[v]++
+	t := r.f.Var(fmt.Sprintf("%s#%d", v.Name, r.versions[v]), v.Sort)
+	r.BaseVar[t] = v
+	return t
+}
+
+// subst replaces version-0 variables in e with their current versions.
+func (r *Result) subst(e *smt.Term, state *pmap) *smt.Term {
+	if state == nil {
+		return e
+	}
+	m := map[*smt.Term]*smt.Term{}
+	for _, vt := range e.Vars(nil) {
+		v := r.BaseVar[vt]
+		if v == nil || vt != v.Term {
+			continue // already a versioned term (shouldn't occur in IR exprs)
+		}
+		if cur := r.termOf(state, v); cur != vt {
+			m[vt] = cur
+		}
+	}
+	if len(m) == 0 {
+		return e
+	}
+	return smt.Substitute(r.f, e, m)
+}
+
+func (r *Result) conjoinEdge(k EdgeKey, c *smt.Term) {
+	if old, ok := r.EdgeCond[k]; ok {
+		c = r.f.And(old, c)
+	}
+	r.EdgeCond[k] = c
+}
+
+// mergeState computes the incoming state of n from its predecessors'
+// out-states, introducing merged versions with per-edge equalities where
+// they disagree.
+func (r *Result) mergeState(n *ir.Node, outState map[*ir.Node]*pmap) *pmap {
+	// Consider only predecessors already processed (reachable ones; the
+	// topological order guarantees all reachable preds come first).
+	var preds []*ir.Node
+	for _, p := range n.Preds {
+		if _, ok := outState[p]; ok {
+			preds = append(preds, p)
+		}
+	}
+	switch len(preds) {
+	case 0:
+		return nil
+	case 1:
+		return outState[preds[0]]
+	}
+	// Terminals never read state; skip the merge work.
+	switch n.Kind {
+	case ir.AcceptTerm, ir.RejectTerm, ir.UnreachTerm, ir.BugTerm:
+		return outState[preds[0]]
+	}
+	base := outState[preds[0]]
+	diffSet := map[int32]bool{}
+	var keys []int32
+	for _, p := range preds[1:] {
+		keys = diffKeys(base, outState[p], keys[:0])
+		for _, k := range keys {
+			diffSet[k] = true
+		}
+	}
+	if len(diffSet) == 0 {
+		return base
+	}
+	merged := base
+	order := make([]int32, 0, len(diffSet))
+	for k := range diffSet {
+		order = append(order, k)
+	}
+	sortInt32(order)
+	for _, k := range order {
+		v := r.varByIdx[k]
+		nv := r.freshVersion(v)
+		merged = merged.set(k, nv)
+		for _, p := range preds {
+			cur := r.termOf(outState[p], v)
+			r.conjoinEdge(EdgeKey{p.ID, n.ID}, r.f.Eq(nv, cur))
+		}
+	}
+	return merged
+}
+
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

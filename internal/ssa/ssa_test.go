@@ -1,0 +1,240 @@
+package ssa
+
+import (
+	"testing"
+
+	"bf4/internal/ir"
+	"bf4/internal/smt"
+)
+
+// straightLine builds: start -> x=1 -> x=x+1 -> accept.
+func straightLine() (*ir.Program, *ir.Var) {
+	p := ir.NewProgram("line")
+	x := p.NewVar("x", smt.BV(8))
+	start := p.NewNode(ir.Nop)
+	p.Start = start
+	a1 := p.NewNode(ir.Assign)
+	a1.Var, a1.Expr = x, p.F.BVConst64(1, 8)
+	a2 := p.NewNode(ir.Assign)
+	a2.Var, a2.Expr = x, p.F.Add(x.Term, p.F.BVConst64(1, 8))
+	acc := p.NewNode(ir.AcceptTerm)
+	p.Edge(start, a1)
+	p.Edge(a1, a2)
+	p.Edge(a2, acc)
+	return p, x
+}
+
+func TestStraightLineVersions(t *testing.T) {
+	p, x := straightLine()
+	r := Passify(p)
+	var conds []*smt.Term
+	for _, n := range p.Topo() {
+		if c, ok := r.NodeCond[n]; ok {
+			conds = append(conds, c)
+		}
+	}
+	if len(conds) != 2 {
+		t.Fatalf("node constraints = %d, want 2", len(conds))
+	}
+	// First: x#1 == 1. Second: x#2 == x#1 + 1.
+	f := p.F
+	x1 := f.BVVar("x#1", 8)
+	x2 := f.BVVar("x#2", 8)
+	if conds[0] != f.Eq(x1, f.BVConst64(1, 8)) {
+		t.Errorf("first constraint: %s", conds[0])
+	}
+	if conds[1] != f.Eq(x2, f.Add(x1, f.BVConst64(1, 8))) {
+		t.Errorf("second constraint: %s", conds[1])
+	}
+	if r.BaseVar[x1] != x || r.BaseVar[x2] != x {
+		t.Error("BaseVar must map versions back to x")
+	}
+}
+
+// diamondAssign builds: start -> br(c) -> (x=1 | x=2) -> join -> accept,
+// exercising phi insertion at the join.
+func diamondAssign() *ir.Program {
+	p := ir.NewProgram("diamond")
+	x := p.NewVar("x", smt.BV(8))
+	p.NewVar("c", smt.BoolSort)
+	start := p.NewNode(ir.Nop)
+	p.Start = start
+	br := p.NewNode(ir.Branch)
+	br.Expr = p.Vars["c"].Term
+	a1 := p.NewNode(ir.Assign)
+	a1.Var, a1.Expr = x, p.F.BVConst64(1, 8)
+	a2 := p.NewNode(ir.Assign)
+	a2.Var, a2.Expr = x, p.F.BVConst64(2, 8)
+	join := p.NewNode(ir.Nop)
+	acc := p.NewNode(ir.AcceptTerm)
+	p.Edge(start, br)
+	p.Edge(br, a1)
+	p.Edge(br, a2)
+	p.Edge(a1, join)
+	p.Edge(a2, join)
+	p.Edge(join, acc)
+	return p
+}
+
+func TestPhiAtJoin(t *testing.T) {
+	p := diamondAssign()
+	r := Passify(p)
+	// The join must have created a merged version with per-edge
+	// equalities combined with the branch polarity.
+	f := p.F
+	foundMerge := 0
+	for k, c := range r.EdgeCond {
+		_ = k
+		vars := c.Vars(nil)
+		for _, v := range vars {
+			if r.BaseVar[v] != nil && r.BaseVar[v].Name == "x" && v.Name() != "x" {
+				foundMerge++
+				break
+			}
+		}
+	}
+	if foundMerge < 2 {
+		t.Fatalf("expected merged-version equalities on both join edges, got %d", foundMerge)
+	}
+	_ = f
+}
+
+func TestBranchPolarityOnEdges(t *testing.T) {
+	p := diamondAssign()
+	r := Passify(p)
+	var br *ir.Node
+	for _, n := range p.Nodes {
+		if n.Kind == ir.Branch {
+			br = n
+		}
+	}
+	tCond := r.EdgeCond[EdgeKey{br.ID, br.Succs[0].ID}]
+	fCond := r.EdgeCond[EdgeKey{br.ID, br.Succs[1].ID}]
+	if tCond == nil || fCond == nil {
+		t.Fatal("branch edges must carry conditions")
+	}
+	// Under c=true the true-edge condition holds and the false-edge
+	// condition does not.
+	env := smt.Env{}
+	env.SetBool("c", true)
+	if !smt.EvalBool(tCond, env) || smt.EvalBool(fCond, env) {
+		t.Fatalf("polarity wrong: t=%s f=%s", tCond, fCond)
+	}
+}
+
+func TestHavocCreatesFreshUnconstrained(t *testing.T) {
+	p := ir.NewProgram("havoc")
+	x := p.NewVar("x", smt.BV(8))
+	start := p.NewNode(ir.Nop)
+	p.Start = start
+	a := p.NewNode(ir.Assign)
+	a.Var, a.Expr = x, p.F.BVConst64(5, 8)
+	h := p.NewNode(ir.Havoc)
+	h.Var = x
+	use := p.NewNode(ir.Branch)
+	use.Expr = p.F.Eq(x.Term, p.F.BVConst64(7, 8))
+	acc := p.NewNode(ir.AcceptTerm)
+	rej := p.NewNode(ir.RejectTerm)
+	p.Edge(start, a)
+	p.Edge(a, h)
+	p.Edge(h, use)
+	p.Edge(use, acc)
+	p.Edge(use, rej)
+	r := Passify(p)
+	ht := r.HavocTerm[h]
+	if ht == nil {
+		t.Fatal("havoc term missing")
+	}
+	if _, constrained := r.NodeCond[h]; constrained {
+		t.Fatal("havoc must not constrain")
+	}
+	// The branch must read the havoc version, not the assigned one.
+	bc := r.BranchCond[use]
+	usesHavoc := false
+	for _, v := range bc.Vars(nil) {
+		if v == ht {
+			usesHavoc = true
+		}
+	}
+	if !usesHavoc {
+		t.Fatalf("branch condition %s does not use havoc version %s", bc, ht)
+	}
+}
+
+func TestStateTermLookup(t *testing.T) {
+	p, x := straightLine()
+	r := Passify(p)
+	// At the accept node, x should be version 2.
+	var acc *ir.Node
+	for _, n := range p.Nodes {
+		if n.Kind == ir.AcceptTerm {
+			acc = n
+		}
+	}
+	got := r.StateTerm(acc, x)
+	if got.Name() != "x#2" {
+		t.Fatalf("StateTerm at accept = %s, want x#2", got.Name())
+	}
+}
+
+func TestPmapBasics(t *testing.T) {
+	var m *pmap
+	for i := int32(0); i < 100; i++ {
+		m = m.set(i, int(i*10))
+	}
+	for i := int32(0); i < 100; i++ {
+		if got := m.get(i); got.(int) != int(i*10) {
+			t.Fatalf("get(%d) = %v", i, got)
+		}
+	}
+	if m.get(1000) != nil {
+		t.Fatal("missing key must be nil")
+	}
+	if m.size() != 100 {
+		t.Fatalf("size = %d", m.size())
+	}
+	// Persistence: updating does not mutate the original.
+	m2 := m.set(5, 999)
+	if m.get(5).(int) != 50 || m2.get(5).(int) != 999 {
+		t.Fatal("persistence violated")
+	}
+}
+
+func TestPmapHistoryIndependence(t *testing.T) {
+	var a, b *pmap
+	for i := int32(0); i < 50; i++ {
+		a = a.set(i, int(i))
+	}
+	for i := int32(49); i >= 0; i-- {
+		b = b.set(i, int(i))
+	}
+	// Same contents, different insertion orders: diff must be empty.
+	if d := diffKeys(a, b, nil); len(d) != 0 {
+		t.Fatalf("equal maps diff: %v", d)
+	}
+}
+
+func TestPmapDiff(t *testing.T) {
+	var a *pmap
+	for i := int32(0); i < 20; i++ {
+		a = a.set(i, int(i))
+	}
+	b := a.set(3, 999).set(17, 888)
+	d := diffKeys(a, b, nil)
+	if len(d) != 2 {
+		t.Fatalf("diff = %v, want keys 3 and 17", d)
+	}
+	seen := map[int32]bool{}
+	for _, k := range d {
+		seen[k] = true
+	}
+	if !seen[3] || !seen[17] {
+		t.Fatalf("diff = %v", d)
+	}
+	// Keys present in only one map.
+	c := a.set(100, 1)
+	d = diffKeys(a, c, nil)
+	if len(d) != 1 || d[0] != 100 {
+		t.Fatalf("one-sided diff = %v", d)
+	}
+}
