@@ -58,6 +58,43 @@ func benchTable1Program(b *testing.B, name string) {
 	}
 }
 
+// benchCorpusVerify runs the whole Table 1 corpus (switch included at
+// the CI scale) through the parallel experiment driver. Comparing the
+// _J1/_J2/_J4 variants on a multi-core machine demonstrates the
+// parallel engine's speedup; the row contents are identical for every
+// worker count (the determinism tests assert exactly that).
+func benchCorpusVerify(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchSwitchScale, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "programs")
+	}
+}
+
+func BenchmarkCorpusVerify_J1(b *testing.B) { benchCorpusVerify(b, 1) }
+func BenchmarkCorpusVerify_J2(b *testing.B) { benchCorpusVerify(b, 2) }
+func BenchmarkCorpusVerify_J4(b *testing.B) { benchCorpusVerify(b, 4) }
+
+// benchInferWorkers isolates the per-table-instance inference fan-out
+// on the generated switch (compile and FindBugs excluded).
+func benchInferWorkers(b *testing.B, workers int) {
+	pl := compileSwitch(b, true)
+	rep := pl.FindBugs()
+	opts := infer.DefaultOptions()
+	opts.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := infer.Run(pl, rep, opts)
+		b.ReportMetric(float64(rep.NumReachable()-len(res.Uncontrolled)), "controlled")
+	}
+}
+
+func BenchmarkInferRun_J1(b *testing.B) { benchInferWorkers(b, 1) }
+func BenchmarkInferRun_J4(b *testing.B) { benchInferWorkers(b, 4) }
+
 func BenchmarkTable1_SimpleNat(b *testing.B)   { benchTable1Program(b, "simple_nat") }
 func BenchmarkTable1_Arp(b *testing.B)         { benchTable1Program(b, "arp") }
 func BenchmarkTable1_MplbRouter(b *testing.B)  { benchTable1Program(b, "mplb_router-ppc") }

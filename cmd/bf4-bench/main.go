@@ -4,9 +4,16 @@
 //
 // Usage:
 //
-//	bf4-bench -run table1 [-switch-scale 16]
+//	bf4-bench -run table1 [-switch-scale 16] [-j 4] [-stable]
 //	bf4-bench -run slicing|infer|multitable|dontcare|p4v|vera|shim|overhead|stages
 //	bf4-bench -run all
+//
+// -j bounds the worker pool for experiments that run independent
+// verifications (table1's corpus loop, each ablation's two arms);
+// 0 means GOMAXPROCS, 1 reproduces the paper's serial timing
+// methodology. All counts are identical for every -j. -stable renders
+// table1 without its runtime column so outputs from different -j values
+// (or machines) can be diffed byte-for-byte — CI does exactly that.
 package main
 
 import (
@@ -24,6 +31,8 @@ func main() {
 		switchScale = flag.Int("switch-scale", 8, "generated switch scale for switch-based experiments")
 		updates     = flag.Int("updates", 2000, "controller updates for the shim experiment")
 		veraBudget  = flag.Duration("vera-budget", 20*time.Second, "budget for symbolic Vera exploration")
+		jobs        = flag.Int("j", 0, "worker pool size for parallel experiments (0 = GOMAXPROCS, 1 = serial)")
+		stable      = flag.Bool("stable", false, "render table1 without the runtime column (byte-stable across -j values and machines)")
 	)
 	flag.Parse()
 
@@ -44,16 +53,20 @@ func main() {
 	}
 
 	dispatch("table1", func() error {
-		rows, err := experiments.Table1(*switchScale)
+		rows, err := experiments.Table1(*switchScale, *jobs)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderTable1(rows))
+		if *stable {
+			fmt.Print(experiments.RenderTable1Stable(rows))
+		} else {
+			fmt.Print(experiments.RenderTable1(rows))
+		}
 		return nil
 	})
 
 	dispatch("slicing", func() error {
-		r, err := experiments.Slicing(*switchScale)
+		r, err := experiments.Slicing(*switchScale, *jobs)
 		if err != nil {
 			return err
 		}
@@ -71,7 +84,7 @@ func main() {
 	})
 
 	dispatch("infer", func() error {
-		r, err := experiments.InferAblation(*switchScale)
+		r, err := experiments.InferAblation(*switchScale, *jobs)
 		if err != nil {
 			return err
 		}
@@ -84,7 +97,7 @@ func main() {
 	})
 
 	dispatch("multitable", func() error {
-		r, err := experiments.MultiTable(*switchScale)
+		r, err := experiments.MultiTable(*switchScale, *jobs)
 		if err != nil {
 			return err
 		}
@@ -94,7 +107,7 @@ func main() {
 	})
 
 	dispatch("dontcare", func() error {
-		r, err := experiments.DontCare(*switchScale)
+		r, err := experiments.DontCare(*switchScale, *jobs)
 		if err != nil {
 			return err
 		}

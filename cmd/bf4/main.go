@@ -16,6 +16,8 @@
 //	-no-slice          disable bug-reachability slicing
 //	-no-dontcare       disable dontCare-widened inference
 //	-no-multitable     disable the multi-table heuristic
+//	-j N               inference worker pool size (0 = GOMAXPROCS);
+//	                   output is identical for every value
 //	-v                 verbose: list every bug with its verdict
 package main
 
@@ -42,6 +44,7 @@ func main() {
 		noMultiTable = flag.Bool("no-multitable", false, "disable the multi-table heuristic")
 		verbose      = flag.Bool("v", false, "verbose bug listing")
 		showTrace    = flag.Bool("trace", false, "print a counterexample trace for each reachable bug")
+		jobs         = flag.Int("j", 0, "inference worker pool size (0 = GOMAXPROCS; results identical for every value)")
 	)
 	flag.Parse()
 
@@ -78,6 +81,7 @@ func main() {
 	cfg.IR.DontCare = !*noDontCare
 	cfg.Infer.UseDontCare = !*noDontCare
 	cfg.Infer.UseMultiTable = !*noMultiTable
+	cfg.Workers = *jobs
 
 	res, err := driver.Run(name, src, cfg)
 	if err != nil {

@@ -27,6 +27,10 @@ type Config struct {
 	Infer infer.Options
 	// Slicing enables bug-reachability slicing (paper default: on).
 	Slicing bool
+	// Workers bounds the per-instance inference fan-out (cmd/bf4's -j);
+	// <= 0 means GOMAXPROCS. It overrides Infer.Workers when set. The
+	// results are identical for every value — only wall-clock changes.
+	Workers int
 }
 
 // DefaultConfig matches the paper's configuration.
@@ -51,6 +55,9 @@ type Result struct {
 	// KeysAdded and TablesTouched quantify the fix (Table 1 / §5).
 	KeysAdded     int
 	TablesTouched int
+	// Rounds counts fix-point iterations of the rebuild loop (0 when the
+	// initial inference already left nothing to fix).
+	Rounds int
 
 	Runtime time.Duration
 
@@ -68,6 +75,9 @@ type Result struct {
 // Run executes the full bf4 loop on a program.
 func Run(name, src string, cfg Config) (*Result, error) {
 	start := time.Now()
+	if cfg.Workers != 0 {
+		cfg.Infer.Workers = cfg.Workers
+	}
 	res := &Result{Name: name, LoC: countLoC(src)}
 
 	pl, err := core.Compile(src, cfg.IR, cfg.Slicing)
@@ -104,6 +114,7 @@ func Run(name, src string, cfg Config) (*Result, error) {
 	egressFix := len(fx.Special) > 0
 	const maxRounds = 3
 	for round := 0; round < maxRounds; round++ {
+		res.Rounds = round + 1
 		opts2 := cfg.IR
 		opts2.ExtraKeys = allKeys
 		opts2.InitEgressSpecDrop = opts2.InitEgressSpecDrop || egressFix
@@ -154,13 +165,30 @@ func Run(name, src string, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// mergeKeys unions two table→keys maps, deduplicating: a key present in
+// both ExtraKeys and a fix round (or proposed twice across rounds) must
+// not be added to the table twice.
 func mergeKeys(a, b map[string][]string) map[string][]string {
 	out := map[string][]string{}
+	seen := map[string]map[string]bool{}
+	add := func(t, k string) {
+		if seen[t] == nil {
+			seen[t] = map[string]bool{}
+		}
+		if !seen[t][k] {
+			seen[t][k] = true
+			out[t] = append(out[t], k)
+		}
+	}
 	for t, ks := range a {
-		out[t] = append(out[t], ks...)
+		for _, k := range ks {
+			add(t, k)
+		}
 	}
 	for t, ks := range b {
-		out[t] = append(out[t], ks...)
+		for _, k := range ks {
+			add(t, k)
+		}
 	}
 	return out
 }

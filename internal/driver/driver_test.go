@@ -112,6 +112,190 @@ func TestFixedSourceReparses(t *testing.T) {
 	if got := res2.Fixes.Keys["ipv4_lpm"]; len(got) > 0 {
 		t.Fatalf("fixed program still wants keys on ipv4_lpm: %v", got)
 	}
+	// Re-verifying the rewritten program must come out clean: the keys are
+	// now in the source, so inference controls every bug without new keys.
+	// (The egress-spec suggestion is advisory, not a source rewrite, so it
+	// may legitimately reappear.)
+	if res2.KeysAdded != 0 || res2.BugsAfterFixes != 0 {
+		t.Fatalf("fixed source does not re-verify clean: %s", res2.Summary())
+	}
+}
+
+// twoRoundSrc needs two fix-point rounds. Round 0: t1's wr action reads
+// hdr.a.f as a register index (a is conditionally parsed), so Fixes
+// proposes hdr.a.f (the OOB bug's determining variable) and
+// hdr.a.isValid() (the invalid-read bug) on t1. Meanwhile t2's read of
+// hdr.b.g is controlled WITHOUT keys by the multi-table heuristic: t1
+// dominates t2, shares the meta.m key, and b is valid unless t1 hit the
+// nop_ entry — forbidding (e1.act = nop_, e2.act = rd) rule pairs
+// suffices. Round 1's rebuild gives t1 two extra keys, which breaks the
+// keys-subset condition of the heuristic, so t2's bug resurfaces
+// uncontrolled and only then does Fixes propose hdr.b.isValid() on t2 —
+// a second round. Round 2 re-verifies clean.
+const twoRoundSrc = `
+header a_t { bit<8> f; }
+header b_t { bit<8> g; }
+struct headers { a_t a; b_t b; }
+struct metadata { bit<8> m; bit<8> x; }
+
+parser P(packet_in pkt, out headers hdr, inout metadata meta,
+         inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w1: parse_a;
+            default: accept;
+        }
+    }
+    state parse_a { pkt.extract(hdr.a); transition accept; }
+}
+
+control Ing(inout headers hdr, inout metadata meta,
+            inout standard_metadata_t smeta) {
+    register<bit<8>>(16) reg;
+    action nop_() { }
+    action init_() {
+        hdr.b.setValid();
+        hdr.b.g = 8w0;
+    }
+    action wr() {
+        hdr.b.setValid();
+        hdr.b.g = 8w0;
+        reg.write(hdr.a.f, 8w1);
+    }
+    action rd() { meta.x = hdr.b.g; }
+    table t1 {
+        key = { meta.m: exact; }
+        actions = { wr; nop_; }
+        default_action = init_();
+    }
+    table t2 {
+        key = { meta.m: exact; }
+        actions = { rd; nop_; }
+        default_action = nop_();
+    }
+    apply {
+        smeta.egress_spec = 9w1;
+        t1.apply();
+        t2.apply();
+    }
+}
+
+control Eg(inout headers hdr, inout metadata meta,
+           inout standard_metadata_t smeta) { apply { } }
+control Dep(packet_out pkt, in headers hdr) {
+    apply { pkt.emit(hdr.a); pkt.emit(hdr.b); }
+}
+
+V1Switch(P(), Ing(), Eg(), Dep()) main;
+`
+
+func TestFixPointNeedsTwoRounds(t *testing.T) {
+	res, err := Run("two_round", twoRoundSrc, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Summary())
+	t.Logf("fixes:\n%s", res.Fixes.Describe())
+	if res.Rounds < 2 {
+		t.Fatalf("rounds = %d, want >= 2 (keys per round: %v)", res.Rounds, res.Fixes.Keys)
+	}
+	wantT1 := map[string]bool{"hdr.a.f": true, "hdr.a.isValid()": true}
+	for _, k := range res.Fixes.Keys["t1"] {
+		delete(wantT1, k)
+	}
+	if len(wantT1) > 0 {
+		t.Errorf("t1 missing proposed keys %v (got %v)", wantT1, res.Fixes.Keys["t1"])
+	}
+	found := false
+	for _, k := range res.Fixes.Keys["t2"] {
+		if k == "hdr.b.isValid()" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("t2 never got hdr.b.isValid() (got %v)", res.Fixes.Keys["t2"])
+	}
+	if res.BugsAfterFixes != 0 {
+		for _, b := range res.Dataplane {
+			t.Logf("remaining: %s", b.Description())
+		}
+		t.Errorf("bugs after fixes = %d, want 0", res.BugsAfterFixes)
+	}
+	// The two-round fix must survive the source rewrite round-trip.
+	if res.FixedSource == "" {
+		t.Fatal("no fixed source produced")
+	}
+	res2, err := Run("two_round_fixed", res.FixedSource, DefaultConfig())
+	if err != nil {
+		t.Fatalf("fixed source does not compile: %v", err)
+	}
+	if res2.KeysAdded != 0 || res2.BugsAfterFixes != 0 {
+		t.Fatalf("fixed source does not re-verify clean: %s", res2.Summary())
+	}
+}
+
+func TestFixPointEarlyExitOnDataplaneBug(t *testing.T) {
+	// One fixable bug (t's rd reads conditionally-parsed hdr.h) plus one
+	// genuinely unfixable bug (the apply block reads conditionally-parsed
+	// hdr.g outside any table's expansion). The loop must run exactly one
+	// round: the fix controls t's bug, no new keys appear for the
+	// dataplane bug, and the newKeys == 0 early exit fires well before
+	// maxRounds.
+	src := `
+header h_t { bit<8> x; }
+header g_t { bit<8> y; }
+struct headers { h_t h; g_t g; }
+struct metadata { bit<8> m; bit<8> x; }
+parser P(packet_in pkt, out headers hdr, inout metadata meta,
+         inout standard_metadata_t smeta) {
+    state start {
+        transition select(smeta.ingress_port) {
+            9w1: parse_h;
+            9w2: parse_g;
+            default: accept;
+        }
+    }
+    state parse_h { pkt.extract(hdr.h); transition accept; }
+    state parse_g { pkt.extract(hdr.g); transition accept; }
+}
+control Ing(inout headers hdr, inout metadata meta,
+            inout standard_metadata_t smeta) {
+    action nop_() { }
+    action rd() { meta.x = hdr.h.x; }
+    table t {
+        key = { meta.m: exact; }
+        actions = { rd; nop_; }
+        default_action = nop_();
+    }
+    apply {
+        smeta.egress_spec = 9w1;
+        t.apply();
+        if (hdr.g.y == 8w1) {
+            smeta.egress_spec = 9w2;
+        }
+    }
+}
+control Eg(inout headers hdr, inout metadata meta,
+           inout standard_metadata_t smeta) { apply { } }
+control Dep(packet_out pkt, in headers hdr) {
+    apply { pkt.emit(hdr.h); pkt.emit(hdr.g); }
+}
+V1Switch(P(), Ing(), Eg(), Dep()) main;
+`
+	res, err := Run("early_exit", src, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Summary())
+	if res.KeysAdded == 0 {
+		t.Fatal("fixable bug proposed no keys")
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want exactly 1 (newKeys == 0 early exit)", res.Rounds)
+	}
+	if res.BugsAfterFixes == 0 {
+		t.Fatal("dataplane bug wrongly eliminated")
+	}
 }
 
 func TestDataplaneBugSurvivesFixes(t *testing.T) {

@@ -6,6 +6,15 @@
 // overhead analysis (§5) and the stage-cost motivation (§3). The cmd/
 // bf4-bench binary and the repository's Go benchmarks both drive these
 // entry points.
+//
+// Experiments that run several independent verifications (the corpus
+// loop of Table1, the two arms of each ablation) accept a workers knob
+// and fan the runs out over a bounded pool (<= 0 means GOMAXPROCS).
+// Each run compiles its own pipeline — term factories and solvers are
+// never shared across programs — and results are collected in a fixed
+// order, so every output except wall-clock timings is identical for
+// every worker count. Pass workers=1 to reproduce the paper's serial
+// timing methodology.
 package experiments
 
 import (
@@ -21,6 +30,7 @@ import (
 	"bf4/internal/driver"
 	"bf4/internal/infer"
 	"bf4/internal/ir"
+	"bf4/internal/pool"
 	"bf4/internal/progs"
 	"bf4/internal/shim"
 	"bf4/internal/spec"
@@ -40,10 +50,15 @@ type Table1Row struct {
 	KeysAdded      int
 }
 
-// Table1 runs the full pipeline over the corpus. switchScale overrides
-// the generated switch's scale (0 = skip switch, for quick runs).
-func Table1(switchScale int) ([]Table1Row, error) {
-	var rows []Table1Row
+// Table1 runs the full pipeline over the corpus, fanning the programs
+// out over workers goroutines (<= 0 means GOMAXPROCS). Every program is
+// an independent verification — its own parse, term factory, and
+// solvers — so the rows are identical for any worker count; only the
+// Runtime column is load-dependent. switchScale overrides the generated
+// switch's scale (0 = skip switch, for quick runs).
+func Table1(switchScale, workers int) ([]Table1Row, error) {
+	type job struct{ name, src string }
+	var jobs []job
 	for _, p := range progs.All() {
 		src := p.Source
 		if p.Name == "switch" {
@@ -52,19 +67,25 @@ func Table1(switchScale int) ([]Table1Row, error) {
 			}
 			src = progs.GenerateSwitch(switchScale)
 		}
-		res, err := driver.Run(p.Name, src, driver.DefaultConfig())
+		jobs = append(jobs, job{p.Name, src})
+	}
+	rows, err := pool.MapErr(workers, len(jobs), func(i int) (Table1Row, error) {
+		res, err := driver.Run(jobs[i].name, jobs[i].src, driver.DefaultConfig())
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return Table1Row{}, fmt.Errorf("%s: %w", jobs[i].name, err)
 		}
-		rows = append(rows, Table1Row{
-			Program:        p.Name,
+		return Table1Row{
+			Program:        jobs[i].name,
 			LoC:            res.LoC,
 			Bugs:           res.Bugs,
 			BugsAfterInfer: res.BugsAfterInfer,
 			Runtime:        res.Runtime,
 			BugsAfterFixes: res.BugsAfterFixes,
 			KeysAdded:      res.KeysAdded,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Program < rows[j].Program })
 	return rows, nil
@@ -79,6 +100,21 @@ func RenderTable1(rows []Table1Row) string {
 		fmt.Fprintf(&b, "%-22s %6d %6d %12d %12s %12d %6d\n",
 			r.Program, r.LoC, r.Bugs, r.BugsAfterInfer,
 			r.Runtime.Round(time.Millisecond), r.BugsAfterFixes, r.KeysAdded)
+	}
+	return b.String()
+}
+
+// RenderTable1Stable prints rows without the Runtime column: every
+// remaining field is deterministic, so two renderings produced with
+// different worker counts (or on different machines) must be
+// byte-identical. CI diffs this output for -j 1 vs -j 2.
+func RenderTable1Stable(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %6s %6s %12s %12s %6s\n",
+		"Program", "LoC", "#bugs", "after-Infer", "after-fixes", "keys")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %6d %6d %12d %12d %6d\n",
+			r.Program, r.LoC, r.Bugs, r.BugsAfterInfer, r.BugsAfterFixes, r.KeysAdded)
 	}
 	return b.String()
 }
@@ -105,17 +141,29 @@ type SlicingResult struct {
 	PropagationsWithout int64
 }
 
-// Slicing measures model-checking time with and without the slice on the
-// generated switch.
-func Slicing(scale int) (*SlicingResult, error) {
+// Slicing measures model-checking time with and without the slice on
+// the generated switch. The two arms are independent compiles and run
+// concurrently when workers > 1; use workers=1 when the timing columns
+// must not contend for cores (bug counts, instruction counts, formula
+// sizes, and propagations are deterministic either way).
+func Slicing(scale, workers int) (*SlicingResult, error) {
 	src := progs.GenerateSwitch(scale)
-	out := &SlicingResult{}
-
-	plS, err := core.Compile(src, ir.DefaultOptions(), true)
+	type arm struct {
+		pl  *core.Pipeline
+		rep *core.Report
+	}
+	arms, err := pool.MapErr(workers, 2, func(i int) (arm, error) {
+		pl, err := core.Compile(src, ir.DefaultOptions(), i == 0)
+		if err != nil {
+			return arm{}, err
+		}
+		return arm{pl, pl.FindBugs()}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	repS := plS.FindBugs()
+	out := &SlicingResult{}
+	plS, repS := arms[0].pl, arms[0].rep
 	out.TotalInstructions = plS.SliceStats.TotalInstructions
 	out.SliceInstructions = plS.SliceStats.SliceInstructions
 	out.TimeWithSlicing = repS.SolveTime
@@ -123,11 +171,7 @@ func Slicing(scale int) (*SlicingResult, error) {
 	out.FormulaWith = formulaNodes(repS)
 	_, _, _, out.PropagationsWith = repS.S.Stats()
 
-	plU, err := core.Compile(src, ir.DefaultOptions(), false)
-	if err != nil {
-		return nil, err
-	}
-	repU := plU.FindBugs()
+	repU := arms[1].rep
 	out.TimeWithout = repU.SolveTime
 	out.BugsWithout = repU.NumReachable()
 	out.FormulaWithout = formulaNodes(repU)
@@ -158,37 +202,40 @@ type InferAblationResult struct {
 	InferIterations     int
 }
 
-// InferAblation runs each algorithm alone on the generated switch.
-func InferAblation(scale int) (*InferAblationResult, error) {
+// InferAblation runs each algorithm alone on the generated switch. The
+// two arms (Fast-Infer only, Infer only) are independent compiles and
+// run concurrently when workers > 1.
+func InferAblation(scale, workers int) (*InferAblationResult, error) {
 	src := progs.GenerateSwitch(scale)
-	out := &InferAblationResult{}
-
-	mk := func(fast, full bool) (int, time.Duration, int, error) {
+	type arm struct {
+		controlled, total, iters int
+		dur                      time.Duration
+	}
+	arms, err := pool.MapErr(workers, 2, func(i int) (arm, error) {
+		fast := i == 0
 		pl, err := core.Compile(src, ir.DefaultOptions(), true)
 		if err != nil {
-			return 0, 0, 0, err
+			return arm{}, err
 		}
 		rep := pl.FindBugs()
-		out.TotalBugs = rep.NumReachable()
 		opts := infer.DefaultOptions()
-		opts.UseFastInfer, opts.UseInfer = fast, full
+		opts.UseFastInfer, opts.UseInfer = fast, !fast
 		opts.UseMultiTable = false
 		start := time.Now()
 		res := infer.Run(pl, rep, opts)
-		return rep.NumReachable() - len(res.Uncontrolled), time.Since(start), res.InferCalls, nil
-	}
-
-	controlled, dur, _, err := mk(true, false)
+		return arm{
+			controlled: rep.NumReachable() - len(res.Uncontrolled),
+			total:      rep.NumReachable(),
+			iters:      res.InferCalls,
+			dur:        time.Since(start),
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out.FastInferControlled, out.FastInferTime = controlled, dur
-
-	controlled, dur, iters, err := mk(false, true)
-	if err != nil {
-		return nil, err
-	}
-	out.InferControlled, out.InferTime, out.InferIterations = controlled, dur, iters
+	out := &InferAblationResult{TotalBugs: arms[0].total}
+	out.FastInferControlled, out.FastInferTime = arms[0].controlled, arms[0].dur
+	out.InferControlled, out.InferTime, out.InferIterations = arms[1].controlled, arms[1].dur, arms[1].iters
 	return out, nil
 }
 
@@ -205,44 +252,48 @@ type HeuristicResult struct {
 	ExtraControlled int
 }
 
-func heuristic(scale int, enable func(*infer.Options, bool)) (*HeuristicResult, error) {
+func heuristic(scale, workers int, enable func(*infer.Options, bool)) (*HeuristicResult, error) {
 	src := progs.GenerateSwitch(scale)
-	out := &HeuristicResult{}
-	run := func(on bool) (int, time.Duration, error) {
+	type arm struct {
+		controlled, total int
+		dur               time.Duration
+	}
+	arms, err := pool.MapErr(workers, 2, func(i int) (arm, error) {
+		on := i == 1
 		pl, err := core.Compile(src, ir.DefaultOptions(), true)
 		if err != nil {
-			return 0, 0, err
+			return arm{}, err
 		}
 		rep := pl.FindBugs()
-		out.TotalBugs = rep.NumReachable()
 		opts := infer.DefaultOptions()
 		enable(&opts, on)
 		start := time.Now()
 		res := infer.Run(pl, rep, opts)
-		return rep.NumReachable() - len(res.Uncontrolled), time.Since(start), nil
-	}
-	var err error
-	out.Baseline, out.BaselineTime, err = run(false)
+		return arm{
+			controlled: rep.NumReachable() - len(res.Uncontrolled),
+			total:      rep.NumReachable(),
+			dur:        time.Since(start),
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out.WithHeuristic, out.HeuristicTime, err = run(true)
-	if err != nil {
-		return nil, err
-	}
+	out := &HeuristicResult{TotalBugs: arms[0].total}
+	out.Baseline, out.BaselineTime = arms[0].controlled, arms[0].dur
+	out.WithHeuristic, out.HeuristicTime = arms[1].controlled, arms[1].dur
 	out.ExtraControlled = out.WithHeuristic - out.Baseline
 	return out, nil
 }
 
 // MultiTable measures the §4.2 multi-table heuristic.
-func MultiTable(scale int) (*HeuristicResult, error) {
-	return heuristic(scale, func(o *infer.Options, on bool) { o.UseMultiTable = on })
+func MultiTable(scale, workers int) (*HeuristicResult, error) {
+	return heuristic(scale, workers, func(o *infer.Options, on bool) { o.UseMultiTable = on })
 }
 
 // DontCare measures the §4.2 dontCare heuristic. The IR must be built
 // with dontCare nodes either way; only the OK constraint changes.
-func DontCare(scale int) (*HeuristicResult, error) {
-	return heuristic(scale, func(o *infer.Options, on bool) { o.UseDontCare = on })
+func DontCare(scale, workers int) (*HeuristicResult, error) {
+	return heuristic(scale, workers, func(o *infer.Options, on bool) { o.UseDontCare = on })
 }
 
 // ---------------------------------------------------------------- E6

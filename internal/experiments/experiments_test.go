@@ -7,7 +7,7 @@ import (
 )
 
 func TestTable1WithoutSwitch(t *testing.T) {
-	rows, err := Table1(0)
+	rows, err := Table1(0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,6 +36,32 @@ func TestTable1WithoutSwitch(t *testing.T) {
 	if !strings.Contains(out, "simple_nat") || !strings.Contains(out, "after-Infer") {
 		t.Fatalf("render:\n%s", out)
 	}
+	stable := RenderTable1Stable(rows)
+	if !strings.Contains(stable, "simple_nat") || strings.Contains(stable, "runtime") {
+		t.Fatalf("stable render must drop the runtime column:\n%s", stable)
+	}
+}
+
+// TestTable1DeterministicAcrossWorkerCounts is the corpus-level half of
+// the parallel-engine guarantee (the per-instance half lives in
+// internal/infer): the stable rendering of Table 1 is byte-identical
+// for serial and parallel corpus runs. CI re-checks this through the
+// bf4-bench binary (-j 1 vs -j 2, -stable).
+func TestTable1DeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: two full corpus runs")
+	}
+	render := func(workers int) string {
+		rows, err := Table1(0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderTable1Stable(rows)
+	}
+	serial := render(1)
+	if got := render(2); got != serial {
+		t.Errorf("workers=2 table differs from workers=1:\n--- j1:\n%s--- j2:\n%s", serial, got)
+	}
 }
 
 func TestStagesExperiment(t *testing.T) {
@@ -55,7 +81,7 @@ func TestStagesExperiment(t *testing.T) {
 }
 
 func TestSlicingAgreesOnVerdicts(t *testing.T) {
-	r, err := Slicing(2)
+	r, err := Slicing(2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

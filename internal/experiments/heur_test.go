@@ -9,7 +9,7 @@ func TestHeuristicsFireOnGeneratedSwitch(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy: two full inference runs on the generated switch")
 	}
-	mt, err := MultiTable(2)
+	mt, err := MultiTable(2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -17,7 +17,7 @@ func TestHeuristicsFireOnGeneratedSwitch(t *testing.T) {
 	if mt.ExtraControlled <= 0 {
 		t.Errorf("multi-table heuristic controlled nothing extra")
 	}
-	dc, err := DontCare(2)
+	dc, err := DontCare(2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,10 +11,12 @@
 package infer
 
 import (
+	"sort"
 	"time"
 
 	"bf4/internal/core"
 	"bf4/internal/ir"
+	"bf4/internal/pool"
 	"bf4/internal/smt"
 	"bf4/internal/solver"
 )
@@ -79,6 +81,12 @@ type Options struct {
 	UseDontCare bool
 	// MaxInferIterations bounds Algorithm 1's loop per assert point.
 	MaxInferIterations int
+	// Workers bounds the per-table-instance inference fan-out; <= 0
+	// means GOMAXPROCS. Each worker task owns its own solvers (solvers
+	// are stateful and must never be shared across goroutines) and
+	// results are merged in a fixed instance order, so Run's output is
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions matches the paper's configuration.
@@ -96,13 +104,21 @@ func DefaultOptions() Options {
 // the paper's strategy: Fast-Infer first; Infer only for bugs Fast-Infer
 // does not control; finally the multi-table heuristic for what remains.
 //
-// Solver reuse is the key efficiency lever at switch.p4 scale: the bug
-// reachability solver from FindBugs (every bug condition already blasted)
-// serves all predicate rechecks incrementally, and one shared dual solver
-// holding the OK formula serves every Infer call, with the assert point's
-// reachability passed as an extra assumption.
+// Every phase fans its per-table-instance work out over a bounded worker
+// pool (Options.Workers). Solver reuse remains the efficiency lever, but
+// ownership is strict: the bug reachability solver from FindBugs (every
+// bug condition already blasted) serves all predicate rechecks serially,
+// while each Infer task owns a private dual solver holding the OK
+// formula that serves that instance's whole model/core loop. Isolating
+// the dual solver per instance — rather than sharing one across all
+// instances — is what makes the inferred cubes independent of scheduling:
+// unsat cores depend on learned-clause state, so any sharing would make
+// the output depend on which instances a worker happened to process
+// first. Results are merged in instance order, so Assertions and
+// Uncontrolled are byte-identical for every worker count.
 func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 	f := pl.IR.F
+	workers := pool.Workers(opts.Workers)
 	res := &Result{Controlled: map[*ir.Node]bool{}}
 	re := &rechecker{pl: pl, res: res, s: rep.S}
 	if re.s == nil {
@@ -116,11 +132,15 @@ func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 		}
 	}
 
-	// Phase 1: Fast-Infer on every instance.
+	// Phase 1: Fast-Infer on every instance, in parallel (pure symbolic
+	// execution over the shared term factory; no solver involved).
 	if opts.UseFastInfer {
 		start := time.Now()
-		for _, inst := range pl.IR.Instances {
-			if a := FastInfer(pl, inst); a != nil && len(a.Forbidden) > 0 {
+		fast := pool.Map(workers, len(pl.IR.Instances), func(i int) *Assertion {
+			return FastInfer(pl, pl.IR.Instances[i])
+		})
+		for _, a := range fast {
+			if a != nil && len(a.Forbidden) > 0 {
 				res.Assertions = append(res.Assertions, a)
 			}
 		}
@@ -131,7 +151,7 @@ func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 	uncontrolled := re.recheck(reachableBugs)
 
 	// Phase 2: Infer for assert points that still dominate uncontrolled
-	// bugs, all sharing one dual (OK) solver.
+	// bugs, one task (and one private dual solver) per instance.
 	if opts.UseInfer && len(uncontrolled) > 0 {
 		start := time.Now()
 		byInstance := map[*ir.TableInstance][]*core.Bug{}
@@ -144,16 +164,28 @@ func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 		if opts.UseDontCare {
 			ok = f.And(ok, f.Not(pl.FullReach.DontCareReach))
 		}
-		dual := solver.New(f)
-		dual.Assert(ok)
+		var insts []*ir.TableInstance
 		for _, inst := range pl.IR.Instances {
-			bugs := byInstance[inst]
-			if len(bugs) == 0 {
-				continue
+			if len(byInstance[inst]) > 0 {
+				insts = append(insts, inst)
 			}
-			a := inferShared(pl, dual, inst, bugs, opts, &res.InferCalls)
-			if a != nil && len(a.Forbidden) > 0 {
-				res.Assertions = append(res.Assertions, a)
+		}
+		type inferOut struct {
+			a     *Assertion
+			calls int
+		}
+		outs := pool.Map(workers, len(insts), func(i int) inferOut {
+			inst := insts[i]
+			dual := solver.New(f)
+			dual.Assert(ok)
+			var out inferOut
+			out.a = inferShared(pl, dual, inst, byInstance[inst], opts, &out.calls)
+			return out
+		})
+		for _, o := range outs {
+			res.InferCalls += o.calls
+			if o.a != nil && len(o.a.Forbidden) > 0 {
+				res.Assertions = append(res.Assertions, o.a)
 			}
 		}
 		res.InferTime = time.Since(start)
@@ -162,7 +194,7 @@ func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 
 	// Phase 3: multi-table heuristic for the stragglers.
 	if opts.UseMultiTable && len(uncontrolled) > 0 {
-		for _, a := range MultiTable(pl, uncontrolled) {
+		for _, a := range MultiTable(pl, uncontrolled, workers) {
 			if len(a.Forbidden) > 0 {
 				res.Assertions = append(res.Assertions, a)
 			}
@@ -213,8 +245,15 @@ func atomsFor(pl *core.Pipeline, inst *ir.TableInstance) []*smt.Term {
 	f := pl.IR.F
 	var atoms []*smt.Term
 	atoms = append(atoms, inst.HitVar.Term)
-	for name, idx := range inst.ActIndex {
-		_ = name
+	// Iterate action indices in sorted order: the atom order feeds solver
+	// assumptions, and map-range order would make unsat cores (and hence
+	// the inferred cubes) vary run to run.
+	idxs := make([]int, 0, len(inst.ActIndex))
+	for _, idx := range inst.ActIndex {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
 		atoms = append(atoms, f.Eq(inst.ActVar.Term, f.BVConst64(int64(idx), 8)))
 	}
 	for j, k := range inst.Table.Keys {

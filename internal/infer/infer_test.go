@@ -224,6 +224,49 @@ func TestAssertionSources(t *testing.T) {
 	}
 }
 
+// renderResult flattens a Result into a canonical textual form: every
+// assertion (instance, source, forbidden cubes in order) plus the
+// uncontrolled bug list. Two Results with the same rendering are
+// byte-identical for the purposes of the determinism guarantee.
+func renderResult(res *Result) string {
+	out := ""
+	for _, a := range res.Assertions {
+		out += a.Instance.Name() + " [" + a.Source + "]"
+		if a.Linked != nil {
+			out += " linked=" + a.Linked.Name()
+		}
+		out += "\n"
+		for _, forb := range a.Forbidden {
+			out += "  forbid " + forb.String() + "\n"
+		}
+	}
+	for _, b := range res.Uncontrolled {
+		out += "uncontrolled " + b.Description() + "\n"
+	}
+	return out
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the parallel engine's core
+// guarantee: inference output is byte-identical no matter how many
+// workers run it, including across separate compiles (fresh factories).
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	render := func(workers int) string {
+		pl, rep := compileAndFind(t, natSrc)
+		opts := DefaultOptions()
+		opts.Workers = workers
+		return renderResult(Run(pl, rep, opts))
+	}
+	base := render(1)
+	if base == "" {
+		t.Fatal("no inference output to compare")
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		if got := render(w); got != base {
+			t.Errorf("workers=%d output differs from workers=1:\n--- j1:\n%s--- j%d:\n%s", w, base, w, got)
+		}
+	}
+}
+
 // TestFastInferOverapproximatesInfer checks the paper's containment
 // claim (φ ⊨ φ_fast): anything Fast-Infer forbids, Infer's result forbids
 // no less — equivalently every rule Infer's φ allows satisfies φ_fast...

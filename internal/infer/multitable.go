@@ -3,6 +3,7 @@ package infer
 import (
 	"bf4/internal/core"
 	"bf4/internal/ir"
+	"bf4/internal/pool"
 	"bf4/internal/smt"
 )
 
@@ -14,18 +15,24 @@ import (
 // — packets hitting an entry of t2 provably hit a specific entry shape of
 // t1 (keys are linked through the shared packet fields) — and wholly
 // controlled bug paths yield two-table assertions.
-func MultiTable(pl *core.Pipeline, uncontrolled []*core.Bug) []*Assertion {
+// Each t2 with uncontrolled bugs is an independent task, fanned out over
+// the worker pool (workers <= 0 means GOMAXPROCS); per-task results keep
+// the deterministic inner t1 order and are merged in instance order.
+func MultiTable(pl *core.Pipeline, uncontrolled []*core.Bug, workers int) []*Assertion {
 	byInstance := map[*ir.TableInstance][]*core.Bug{}
 	for _, b := range uncontrolled {
 		if b.Instance != nil {
 			byInstance[b.Instance] = append(byInstance[b.Instance], b)
 		}
 	}
-	var out []*Assertion
+	var targets []*ir.TableInstance
 	for _, t2 := range pl.IR.Instances {
-		if len(byInstance[t2]) == 0 {
-			continue
+		if len(byInstance[t2]) > 0 {
+			targets = append(targets, t2)
 		}
+	}
+	found := pool.Map(workers, len(targets), func(i int) *Assertion {
+		t2 := targets[i]
 		for _, t1 := range pl.IR.Instances {
 			if t1 == t2 || !pl.Doms.Dominates(t1.Apply, t2.Apply) {
 				continue
@@ -35,9 +42,15 @@ func MultiTable(pl *core.Pipeline, uncontrolled []*core.Bug) []*Assertion {
 			}
 			a := fastInferLinked(pl, t1, t2)
 			if a != nil && len(a.Forbidden) > 0 {
-				out = append(out, a)
-				break
+				return a
 			}
+		}
+		return nil
+	})
+	var out []*Assertion
+	for _, a := range found {
+		if a != nil {
+			out = append(out, a)
 		}
 	}
 	return out

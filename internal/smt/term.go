@@ -18,6 +18,7 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Sort identifies a term's type: Bool (Width == 0) or a bitvector of the
@@ -103,6 +104,7 @@ func (o Op) String() string { return opNames[o] }
 // Factory are pointer-comparable: a == b iff they are structurally equal.
 type Term struct {
 	id   uint32
+	hash uint64 // deterministic content hash, for canonical argument order
 	op   Op
 	sort Sort
 	args []*Term
@@ -247,8 +249,13 @@ func (t *Term) TreeSize(limit int) int {
 }
 
 // Factory creates and hash-conses terms. The zero value is not usable;
-// call NewFactory. A Factory is not safe for concurrent use.
+// call NewFactory. A Factory is safe for concurrent use: interning is
+// serialized by a mutex, and canonical argument ordering is derived from
+// a deterministic content hash rather than interning order, so the
+// structure of every term (and hence every rendering of it) is identical
+// no matter how goroutines interleave their term construction.
 type Factory struct {
+	mu     sync.Mutex
 	table  map[string]*Term
 	nextID uint32
 	true_  *Term
@@ -265,7 +272,11 @@ func NewFactory() *Factory {
 
 // NumTerms returns the number of distinct terms created so far, a proxy
 // for formula memory footprint.
-func (f *Factory) NumTerms() int { return len(f.table) }
+func (f *Factory) NumTerms() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.table)
+}
 
 func (f *Factory) key(t *Term) string {
 	var b strings.Builder
@@ -293,6 +304,9 @@ func (f *Factory) key(t *Term) string {
 
 func (f *Factory) intern(t *Term) *Term {
 	k := f.key(t)
+	t.hash = contentHash(t)
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if existing, ok := f.table[k]; ok {
 		return existing
 	}
@@ -301,6 +315,109 @@ func (f *Factory) intern(t *Term) *Term {
 	f.table[k] = t
 	return t
 }
+
+// contentHash computes a deterministic 64-bit hash of a term's structure
+// (FNV-1a over op, sort, payload and argument hashes). Unlike the intern
+// id, it does not depend on creation order, which makes it a stable basis
+// for canonical argument ordering under concurrent construction.
+func contentHash(t *Term) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(t.op))
+	mix(uint64(t.sort.Width))
+	switch t.op {
+	case OpVar:
+		for i := 0; i < len(t.name); i++ {
+			h ^= uint64(t.name[i])
+			h *= prime64
+		}
+	case OpConst:
+		for _, b := range t.val.Bytes() {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	case OpExtract:
+		mix(uint64(t.lo))
+		mix(uint64(t.hi))
+	}
+	for _, a := range t.args {
+		mix(a.hash)
+	}
+	return h
+}
+
+// termCmp is a deterministic total order over terms from one factory:
+// primarily by content hash, with a full structural comparison breaking
+// the (astronomically rare) hash ties. It is creation-order independent,
+// which keeps canonical forms byte-identical across runs and worker
+// counts.
+func termCmp(a, b *Term) int {
+	if a == b {
+		return 0
+	}
+	switch {
+	case a.hash < b.hash:
+		return -1
+	case a.hash > b.hash:
+		return 1
+	}
+	return structCmp(a, b)
+}
+
+func structCmp(a, b *Term) int {
+	if a == b {
+		return 0
+	}
+	switch {
+	case a.op != b.op:
+		if a.op < b.op {
+			return -1
+		}
+		return 1
+	case a.sort.Width != b.sort.Width:
+		if a.sort.Width < b.sort.Width {
+			return -1
+		}
+		return 1
+	case a.op == OpVar:
+		return strings.Compare(a.name, b.name)
+	case a.op == OpConst:
+		return a.val.Cmp(b.val)
+	case a.op == OpExtract && a.lo != b.lo:
+		if a.lo < b.lo {
+			return -1
+		}
+		return 1
+	case a.op == OpExtract && a.hi != b.hi:
+		if a.hi < b.hi {
+			return -1
+		}
+		return 1
+	case len(a.args) != len(b.args):
+		if len(a.args) < len(b.args) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a.args {
+		if c := structCmp(a.args[i], b.args[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func termLess(a, b *Term) bool { return termCmp(a, b) < 0 }
 
 // True returns the boolean constant true.
 func (f *Factory) True() *Term { return f.true_ }
@@ -428,7 +545,7 @@ func (f *Factory) nary(op Op, args []*Term) *Term {
 	case 1:
 		return flat[0]
 	}
-	sort.Slice(flat, func(i, j int) bool { return flat[i].id < flat[j].id })
+	sort.Slice(flat, func(i, j int) bool { return termLess(flat[i], flat[j]) })
 	return f.intern(&Term{op: op, sort: BoolSort, args: flat})
 }
 
@@ -448,7 +565,7 @@ func (f *Factory) Xor(a, b *Term) *Term {
 	case b.IsTrue():
 		return f.Not(a)
 	}
-	if a.id > b.id {
+	if termLess(b, a) {
 		a, b = b, a
 	}
 	return f.intern(&Term{op: OpXor, sort: BoolSort, args: []*Term{a, b}})
@@ -512,7 +629,7 @@ func (f *Factory) Eq(a, b *Term) *Term {
 	if a.IsConst() && b.IsConst() {
 		return f.Bool(a.val.Cmp(b.val) == 0)
 	}
-	if a.id > b.id {
+	if termLess(b, a) {
 		a, b = b, a
 	}
 	return f.intern(&Term{op: OpEq, sort: BoolSort, args: []*Term{a, b}})
@@ -547,7 +664,7 @@ func (f *Factory) binBV(op Op, a, b *Term, fold func(x, y *big.Int, w int) *big.
 	if a.IsConst() && b.IsConst() {
 		return f.BVConst(fold(a.val, b.val, w), w)
 	}
-	if comm && a.id > b.id {
+	if comm && termLess(b, a) {
 		a, b = b, a
 	}
 	return f.intern(&Term{op: op, sort: BV(w), args: []*Term{a, b}})

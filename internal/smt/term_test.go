@@ -1,8 +1,10 @@
 package smt
 
 import (
+	"fmt"
 	"math/big"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -435,5 +437,59 @@ func BenchmarkEvalDeep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Eval(expr, env)
+	}
+}
+
+// TestFactoryConcurrentInterningDeterministic pins down the two
+// properties the parallel inference engine relies on: a factory shared
+// by many goroutines still hash-conses (structurally equal terms are
+// pointer-identical no matter which goroutine interned them first), and
+// canonical argument ordering of commutative operators depends only on
+// term content — so a concurrently-populated factory renders every term
+// exactly like a serial one. Run under -race this also exercises the
+// intern lock.
+func TestFactoryConcurrentInterningDeterministic(t *testing.T) {
+	const n = 64
+	build := func(f *Factory, i int) *Term {
+		a := f.BVVar(fmt.Sprintf("a%d", i%7), 8)
+		b := f.BVVar(fmt.Sprintf("b%d", i%5), 8)
+		sum := f.Add(f.Mul(a, b), f.BVConst64(int64(i%11), 8))
+		return f.And(f.Eq(sum, b), f.Ult(a, sum), f.BoolVar(fmt.Sprintf("p%d", i%3)))
+	}
+	serial := NewFactory()
+	want := make([]string, n)
+	for i := range want {
+		want[i] = build(serial, i).String()
+	}
+
+	shared := NewFactory()
+	const goroutines = 8
+	got := make([][]*Term, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		got[g] = make([]*Term, n)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				idx := i
+				if g%2 == 1 {
+					idx = n - 1 - i // vary interning order across goroutines
+				}
+				got[g][idx] = build(shared, idx)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		for g := 1; g < goroutines; g++ {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("expr %d: goroutine %d interned a distinct term", i, g)
+			}
+		}
+		if s := got[0][i].String(); s != want[i] {
+			t.Errorf("expr %d: concurrent factory renders %q, serial %q", i, s, want[i])
+		}
 	}
 }
