@@ -10,13 +10,22 @@
 // With -program (or -corpus/-switch-scale) the shim also embeds the
 // dataplane simulator, enabling "packet" requests that execute against
 // the current shadow snapshot.
+//
+// With -state-dir the shim journals every applied update and restarts
+// from the snapshot + journal without any controller replay. SIGINT and
+// SIGTERM trigger a graceful shutdown: in-flight requests drain, a final
+// checkpoint compacts the journal, then the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"bf4/internal/driver"
 	"bf4/internal/ir"
@@ -33,6 +42,13 @@ func main() {
 		programPath = flag.String("program", "", "P4 source for packet injection (optional)")
 		corpusName  = flag.String("corpus", "", "corpus program for packet injection")
 		switchScale = flag.Int("switch-scale", 0, "generated switch scale for packet injection")
+
+		stateDir     = flag.String("state-dir", "", "directory for crash-recovery state (snapshot + journal)")
+		maxConns     = flag.Int("max-conns", 0, "max concurrent controller connections (0 = unlimited)")
+		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
+		maxFrame     = flag.Int("max-frame", 1<<20, "max request frame size in bytes")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
 
@@ -97,15 +113,54 @@ func main() {
 	if err != nil {
 		fatalf("shim: %v", err)
 	}
-	srv := &p4runtime.Server{Shim: sh, Prog: prog}
+	var store *shim.Store
+	if *stateDir != "" {
+		store, err = shim.OpenStore(*stateDir)
+		if err != nil {
+			fatalf("state dir: %v", err)
+		}
+		if err := sh.AttachStore(store); err != nil {
+			fatalf("restore state: %v", err)
+		}
+		fmt.Printf("bf4-shim: shadow state restored from %s\n", *stateDir)
+	}
+	srv := &p4runtime.Server{
+		Shim:          sh,
+		Prog:          prog,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+		MaxFrameBytes: *maxFrame,
+		MaxConns:      *maxConns,
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("bf4-shim: %d assertions over %d tables; listening on %s\n",
 		len(file.Assertions), len(file.Tables), ln.Addr())
-	if err := srv.Serve(ln); err != nil {
-		fatalf("serve: %v", err)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+	case s := <-sig:
+		fmt.Printf("bf4-shim: %v, draining connections\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "bf4-shim: forced shutdown: %v\n", err)
+		}
+		if store != nil {
+			if err := sh.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "bf4-shim: final checkpoint: %v\n", err)
+			}
+			store.Close()
+		}
 	}
 }
 

@@ -18,7 +18,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/big"
 	"os"
 
 	"bf4/internal/core"
@@ -89,9 +88,9 @@ func main() {
 	for i, pf := range sc.Packets {
 		pkt := dataplane.Packet{}
 		for name, val := range pf {
-			v, ok := new(big.Int).SetString(val, 0)
-			if !ok {
-				fatalf("packet %d: bad value %q", i, val)
+			v, err := p4runtime.ParseValue(val)
+			if err != nil {
+				fatalf("packet %d: %v", i, err)
 			}
 			pkt[name] = v
 		}

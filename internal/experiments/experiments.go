@@ -441,6 +441,17 @@ func Shim(scale, n int) (*ShimLatency, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Size the latency reservoirs so no sample of this bounded replay is
+	// evicted: percentiles stay exact, identical to the unbounded
+	// accounting the shim used to keep.
+	terms := 0
+	for _, a := range file.Assertions {
+		terms += len(a.Forbidden)
+	}
+	if terms < 1 {
+		terms = 1
+	}
+	sh.SetStatsCap((n + 1) * terms)
 	gen := trace.NewGenerator(1, file)
 	updates := gen.Updates(n)
 	for _, u := range updates {
@@ -451,8 +462,8 @@ func Shim(scale, n int) (*ShimLatency, error) {
 		Updates:      st.Validated,
 		Assertions:   len(file.Assertions),
 		Rejected:     st.Rejected,
-		PerAssertion: percentilesOf(st.PerAssertionNs),
-		PerUpdate:    percentilesOf(st.PerUpdateNs),
+		PerAssertion: percentilesOf(st.PerAssertion.SampleNs),
+		PerUpdate:    percentilesOf(st.PerUpdate.SampleNs),
 	}
 	seen := map[string]bool{}
 	for _, a := range file.Assertions {

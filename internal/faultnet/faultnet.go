@@ -1,0 +1,269 @@
+// Package faultnet wraps net.Conn and net.Listener with scriptable fault
+// injection for chaos-testing the runtime shim's control channel. Faults
+// model the failure classes an always-on controller⇄shim link actually
+// sees: connections cut mid-flight (Drop), stalled peers (Delay), frames
+// cut short by a dying peer (Truncate — the write delivers a prefix and
+// the connection dies), and fragmented delivery (Partial — the write
+// succeeds but lands byte-dribbled across many segments).
+//
+// A Schedule decides which fault each I/O operation suffers. Two
+// implementations are provided: Script replays an explicit fault list
+// (ops beyond the list run clean), and Random draws faults from a seeded
+// PRNG with fixed per-class probabilities, so a chaos run is fully
+// reproducible from its seed.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Kind classifies one injected fault.
+type Kind int
+
+const (
+	// None lets the operation through untouched.
+	None Kind = iota
+	// Delay sleeps before performing the operation.
+	Delay
+	// Drop closes the underlying connection; the operation fails.
+	Drop
+	// Truncate (writes only) delivers a strict prefix of the payload,
+	// then closes the connection — a frame cut mid-wire.
+	Truncate
+	// Partial (writes) delivers the payload in single-byte segments; the
+	// operation still succeeds. On reads it caps the buffer at one byte.
+	Partial
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Truncate:
+		return "truncate"
+	case Partial:
+		return "partial"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is one injected fault instance.
+type Fault struct {
+	Kind  Kind
+	Sleep time.Duration // for Delay
+}
+
+// Schedule decides the fault for each I/O operation. Implementations
+// must be safe for concurrent use: one schedule may be shared across
+// every connection of a chaos run.
+type Schedule interface {
+	// Next returns the fault for the next operation; write reports
+	// whether it is a write (Truncate only applies to writes).
+	Next(write bool) Fault
+}
+
+// Script replays a fixed fault sequence, one entry per I/O operation;
+// operations past the end of the list run fault-free.
+type Script struct {
+	mu     sync.Mutex
+	Faults []Fault
+	pos    int
+}
+
+// NewScript builds a Script schedule from an explicit fault list.
+func NewScript(faults ...Fault) *Script { return &Script{Faults: faults} }
+
+// Next implements Schedule.
+func (s *Script) Next(bool) Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pos >= len(s.Faults) {
+		return Fault{}
+	}
+	f := s.Faults[s.pos]
+	s.pos++
+	return f
+}
+
+// RandomOpts sets the per-operation fault probabilities for a Random
+// schedule. Probabilities are checked in the order drop, truncate,
+// delay, partial; the first hit wins.
+type RandomOpts struct {
+	DropProb     float64
+	TruncateProb float64
+	DelayProb    float64
+	PartialProb  float64
+	// MaxDelay bounds injected delays (default 1ms).
+	MaxDelay time.Duration
+}
+
+// Random draws faults from a seeded PRNG, making a chaos run
+// reproducible from its seed.
+type Random struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	opts RandomOpts
+}
+
+// NewRandom builds a seeded Random schedule.
+func NewRandom(seed int64, opts RandomOpts) *Random {
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = time.Millisecond
+	}
+	return &Random{rng: rand.New(rand.NewSource(seed)), opts: opts}
+}
+
+// Next implements Schedule.
+func (r *Random) Next(write bool) Fault {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	roll := r.rng.Float64()
+	// Delay amount is drawn unconditionally to keep the PRNG stream
+	// independent of which class fires.
+	sleep := time.Duration(1 + r.rng.Int63n(int64(r.opts.MaxDelay)))
+	switch {
+	case roll < r.opts.DropProb:
+		return Fault{Kind: Drop}
+	case roll < r.opts.DropProb+r.opts.TruncateProb:
+		if write {
+			return Fault{Kind: Truncate}
+		}
+		return Fault{Kind: Drop}
+	case roll < r.opts.DropProb+r.opts.TruncateProb+r.opts.DelayProb:
+		return Fault{Kind: Delay, Sleep: sleep}
+	case roll < r.opts.DropProb+r.opts.TruncateProb+r.opts.DelayProb+r.opts.PartialProb:
+		return Fault{Kind: Partial}
+	}
+	return Fault{}
+}
+
+// Conn wraps a net.Conn, consulting a Schedule on every Read and Write.
+type Conn struct {
+	net.Conn
+	sched Schedule
+}
+
+// Wrap attaches a fault schedule to a connection. A nil schedule yields
+// a transparent wrapper.
+func Wrap(c net.Conn, s Schedule) *Conn { return &Conn{Conn: c, sched: s} }
+
+func (c *Conn) next(write bool) Fault {
+	if c.sched == nil {
+		return Fault{}
+	}
+	return c.sched.Next(write)
+}
+
+// errInjected marks transport errors produced by the harness, so tests
+// can tell injected failures from real ones.
+type errInjected struct{ kind Kind }
+
+func (e errInjected) Error() string {
+	return fmt.Sprintf("faultnet: injected %s fault", e.kind)
+}
+
+// IsInjected reports whether err came from an injected fault.
+func IsInjected(err error) bool {
+	_, ok := err.(errInjected)
+	return ok
+}
+
+// Write applies the scheduled fault, then (unless dropped) writes.
+func (c *Conn) Write(p []byte) (int, error) {
+	switch f := c.next(true); f.Kind {
+	case Drop:
+		c.Conn.Close()
+		return 0, errInjected{Drop}
+	case Truncate:
+		// Deliver a strict prefix — never a complete frame — then die.
+		n := len(p) / 2
+		if n > 0 {
+			n, _ = c.Conn.Write(p[:n])
+		}
+		c.Conn.Close()
+		return n, errInjected{Truncate}
+	case Delay:
+		time.Sleep(f.Sleep)
+	case Partial:
+		total := 0
+		for i := range p {
+			n, err := c.Conn.Write(p[i : i+1])
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+	return c.Conn.Write(p)
+}
+
+// Read applies the scheduled fault, then (unless dropped) reads.
+func (c *Conn) Read(p []byte) (int, error) {
+	switch f := c.next(false); f.Kind {
+	case Drop:
+		c.Conn.Close()
+		return 0, errInjected{Drop}
+	case Delay:
+		time.Sleep(f.Sleep)
+	case Partial:
+		if len(p) > 1 {
+			p = p[:1]
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Listener wraps accepted connections with schedules from NewSchedule
+// (one fresh schedule per connection when the factory is set, a shared
+// Schedule otherwise).
+type Listener struct {
+	net.Listener
+	// Shared applies one schedule to every accepted connection.
+	Shared Schedule
+	// NewSchedule, when set, overrides Shared with a per-connection
+	// schedule.
+	NewSchedule func() Schedule
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	s := l.Shared
+	if l.NewSchedule != nil {
+		s = l.NewSchedule()
+	}
+	return Wrap(c, s), nil
+}
+
+// Dialer dials TCP connections wrapped with a shared fault schedule —
+// the client-side counterpart of Listener.
+type Dialer struct {
+	Schedule Schedule
+	// Timeout bounds each dial (default 5s).
+	Timeout time.Duration
+}
+
+// Dial connects to addr and wraps the connection.
+func (d *Dialer) Dial(addr string) (net.Conn, error) {
+	timeout := d.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(c, d.Schedule), nil
+}

@@ -1,0 +1,143 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client conn speaking to a plain server conn
+// over a real TCP loopback socket.
+func pipePair(t *testing.T, s Schedule) (client *Conn, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ok := <-done
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { raw.Close(); srv.Close() })
+	return Wrap(raw, s), srv
+}
+
+func TestScriptDropFailsWrite(t *testing.T) {
+	c, _ := pipePair(t, NewScript(Fault{Kind: Drop}))
+	if _, err := c.Write([]byte("hello\n")); !IsInjected(err) {
+		t.Fatalf("want injected drop, got %v", err)
+	}
+	// The underlying connection is closed: further writes fail too.
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write after drop succeeded")
+	}
+}
+
+func TestTruncateDeliversStrictPrefix(t *testing.T) {
+	c, srv := pipePair(t, NewScript(Fault{Kind: Truncate}))
+	payload := []byte("0123456789\n")
+	n, err := c.Write(payload)
+	if !IsInjected(err) {
+		t.Fatalf("want injected truncate, got %v", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("truncate delivered %d of %d bytes", n, len(payload))
+	}
+	got, _ := io.ReadAll(srv)
+	if len(got) != n {
+		t.Fatalf("server saw %d bytes, client claims %d", len(got), n)
+	}
+}
+
+func TestPartialWriteStillDelivers(t *testing.T) {
+	c, srv := pipePair(t, NewScript(Fault{Kind: Partial}))
+	payload := []byte("fragmented-frame\n")
+	if n, err := c.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("partial write: n=%d err=%v", n, err)
+	}
+	c.Close()
+	got, _ := io.ReadAll(srv)
+	if string(got) != string(payload) {
+		t.Fatalf("server saw %q", got)
+	}
+}
+
+func TestDelayThenSucceed(t *testing.T) {
+	c, srv := pipePair(t, NewScript(Fault{Kind: Delay, Sleep: 20 * time.Millisecond}))
+	start := time.Now()
+	if _, err := c.Write([]byte("late\n")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay not applied: %v", d)
+	}
+	c.Close()
+	got, _ := io.ReadAll(srv)
+	if string(got) != "late\n" {
+		t.Fatalf("server saw %q", got)
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	opts := RandomOpts{DropProb: 0.1, TruncateProb: 0.1, DelayProb: 0.2, PartialProb: 0.2}
+	a, b := NewRandom(7, opts), NewRandom(7, opts)
+	for i := 0; i < 1000; i++ {
+		fa, fb := a.Next(i%2 == 0), b.Next(i%2 == 0)
+		if fa != fb {
+			t.Fatalf("op %d: %v vs %v", i, fa, fb)
+		}
+	}
+}
+
+func TestRandomRatesRoughlyHonored(t *testing.T) {
+	r := NewRandom(42, RandomOpts{DropProb: 0.25})
+	drops := 0
+	for i := 0; i < 4000; i++ {
+		if r.Next(true).Kind == Drop {
+			drops++
+		}
+	}
+	if drops < 800 || drops > 1200 {
+		t.Fatalf("drop rate off: %d/4000", drops)
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := &Listener{Listener: inner, Shared: NewScript(Fault{Kind: Drop})}
+	defer ln.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			c.Write([]byte("hi"))
+			c.Close()
+		}
+	}()
+	c, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 4)
+	if _, err := c.Read(buf); !IsInjected(err) {
+		t.Fatalf("accepted conn not wrapped: %v", err)
+	}
+}

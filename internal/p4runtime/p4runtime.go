@@ -7,20 +7,43 @@
 // already handle (duplicate-rule errors). The server can also inject test
 // packets, executing them on the dataplane interpreter against the
 // current shadow snapshot.
+//
+// The layer is built to run as always-on control-plane infrastructure:
+// the server enforces per-connection read/write deadlines, a maximum
+// frame size and a connection cap, answers malformed frames with an
+// error Response instead of a silent close, recovers per-connection
+// panics, and drains in-flight requests on Shutdown. The client
+// reconnects automatically with exponential backoff and jitter, applies
+// per-call timeouts, and retries idempotently: every request carries a
+// client ID + request ID, and the shim keeps a dedup window of recently
+// applied IDs so a retried insert after an ambiguous failure is not
+// double-applied.
 package p4runtime
 
 import (
 	"bufio"
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/big"
+	mrand "math/rand"
 	"net"
+	"strconv"
 	"sync"
+	"time"
 
 	"bf4/internal/dataplane"
 	"bf4/internal/ir"
 	"bf4/internal/shim"
 )
+
+// MaxValueBits bounds wire integers; anything wider is rejected before
+// it can reach the bitvector layer.
+const MaxValueBits = 4096
 
 // KeyMatchMsg is the wire form of a key match. Values are decimal
 // strings (bitvector widths exceed int64).
@@ -38,12 +61,24 @@ type EntryMsg struct {
 	Priority int           `json:"priority,omitempty"`
 }
 
+// UpdateMsg is one element of an atomic batch.
+type UpdateMsg struct {
+	// Op is "insert" or "set_default".
+	Op    string    `json:"op"`
+	Table string    `json:"table"`
+	Entry *EntryMsg `json:"entry"`
+}
+
 // Request is one controller→shim message.
 type Request struct {
-	ID     int64             `json:"id"`
-	Type   string            `json:"type"` // insert | set_default | validate | packet | stats
+	ID int64 `json:"id"`
+	// Client identifies the sender for idempotent retries: the shim
+	// dedups mutations on (client, id).
+	Client string            `json:"client,omitempty"`
+	Type   string            `json:"type"` // insert | set_default | validate | batch | packet | stats
 	Table  string            `json:"table,omitempty"`
 	Entry  *EntryMsg         `json:"entry,omitempty"`
+	Update []UpdateMsg       `json:"updates,omitempty"`
 	Packet map[string]string `json:"packet,omitempty"`
 }
 
@@ -52,6 +87,9 @@ type Response struct {
 	ID    int64  `json:"id"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+
+	// FailedIndex reports which update of a rejected batch failed.
+	FailedIndex *int `json:"failed_index,omitempty"`
 
 	// Packet-injection results.
 	EgressSpec *int64 `json:"egress_spec,omitempty"`
@@ -67,11 +105,34 @@ func parseBig(s string) (*big.Int, error) {
 	if s == "" {
 		return big.NewInt(0), nil
 	}
+	if len(s) > MaxValueBits/3 {
+		return nil, fmt.Errorf("p4runtime: integer literal of %d chars exceeds the wire limit", len(s))
+	}
 	v, ok := new(big.Int).SetString(s, 0)
 	if !ok {
 		return nil, fmt.Errorf("p4runtime: bad integer %q", s)
 	}
+	if v.Sign() < 0 {
+		return nil, fmt.Errorf("p4runtime: negative value %q not allowed", s)
+	}
+	if v.BitLen() > MaxValueBits {
+		return nil, fmt.Errorf("p4runtime: value %q is %d bits wide, limit %d", s, v.BitLen(), MaxValueBits)
+	}
 	return v, nil
+}
+
+// ParseValue parses a wire integer (decimal, 0x…, 0b…), rejecting
+// negative or absurdly wide values with a clear error.
+func ParseValue(s string) (*big.Int, error) { return parseBig(s) }
+
+// parseMask parses a ternary mask. "-1" is the established dataplane
+// sentinel for "match every bit" (two's-complement all-ones at any
+// width), so it is the one negative value allowed on the wire.
+func parseMask(s string) (*big.Int, error) {
+	if s == "-1" {
+		return big.NewInt(-1), nil
+	}
+	return parseBig(s)
 }
 
 // DecodeEntry converts a wire entry to a dataplane entry.
@@ -84,7 +145,7 @@ func DecodeEntry(m *EntryMsg) (*dataplane.Entry, error) {
 		}
 		dk := dataplane.KeyMatch{Value: v, PrefixLen: -1}
 		if km.Mask != "" {
-			mv, err := parseBig(km.Mask)
+			mv, err := parseMask(km.Mask)
 			if err != nil {
 				return nil, err
 			}
@@ -132,25 +193,100 @@ type Server struct {
 	// snapshot.
 	Prog *ir.Program
 
-	mu sync.Mutex
-	ln net.Listener
+	// ReadTimeout bounds each frame read; an idle or stalled peer is
+	// disconnected after it (default 5m, negative disables).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write (default 30s, negative
+	// disables).
+	WriteTimeout time.Duration
+	// MaxFrameBytes caps one request frame (default 1 MiB).
+	MaxFrameBytes int
+	// MaxConns caps concurrent connections; extra connections receive an
+	// error Response and are closed (default 0 = unlimited).
+	MaxConns int
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+	closed bool
 }
 
-// Serve accepts connections until the listener closes.
+func (s *Server) readTimeout() time.Duration {
+	if s.ReadTimeout == 0 {
+		return 5 * time.Minute
+	}
+	if s.ReadTimeout < 0 {
+		return 0
+	}
+	return s.ReadTimeout
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout == 0 {
+		return 30 * time.Second
+	}
+	if s.WriteTimeout < 0 {
+		return 0
+	}
+	return s.WriteTimeout
+}
+
+func (s *Server) maxFrame() int {
+	if s.MaxFrameBytes <= 0 {
+		return 1 << 20
+	}
+	return s.MaxFrameBytes
+}
+
+func (s *Server) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Serve accepts connections until the listener closes. After Shutdown it
+// returns nil.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
+	if s.conns == nil {
+		s.conns = map[net.Conn]bool{}
+	}
 	s.mu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if s.closing() {
+				return nil
+			}
 			return err
 		}
-		go s.handle(conn)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.mu.Unlock()
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			json.NewEncoder(conn).Encode(&Response{OK: false, Error: "p4runtime: connection limit reached"})
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
 	}
 }
 
-// Close stops the listener.
+// Close stops the listener immediately without draining connections; use
+// Shutdown for a graceful stop.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -160,20 +296,136 @@ func (s *Server) Close() error {
 	return nil
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+// Shutdown stops accepting, lets every in-flight request finish, then
+// closes the connections. If ctx expires first the remaining
+// connections are closed forcibly and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// Wake idle readers; a handler mid-dispatch finishes its current
+	// request, writes the response, then exits on the expired deadline.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		return ctx.Err()
+	}
+}
+
+var errFrameTooLarge = errors.New("p4runtime: frame exceeds size limit")
+
+// readFrame reads one newline-delimited frame, enforcing the size cap.
+// A partial frame cut off by EOF is an error, never a request.
+func readFrame(r *bufio.Reader, max int) ([]byte, error) {
+	var buf []byte
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
+		chunk, err := r.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > max {
+			return nil, errFrameTooLarge
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		// Per-connection panic recovery: a poisoned connection dies, the
+		// server keeps serving everyone else.
+		recover()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, 4096)
+	enc := json.NewEncoder(conn)
+	for !s.closing() {
+		if d := s.readTimeout(); d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
+		frame, err := readFrame(r, s.maxFrame())
+		if err == errFrameTooLarge {
+			// The framing is lost beyond recovery: answer, then close.
+			s.writeResponse(conn, enc, &Response{OK: false, Error: errFrameTooLarge.Error()})
 			return
 		}
-		resp := s.dispatch(&req)
-		if err := enc.Encode(resp); err != nil {
+		if err != nil {
+			return
+		}
+		if len(bytes.TrimSpace(frame)) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(frame, &req); err != nil {
+			// Newline framing survives malformed JSON: report the error
+			// on the wire and keep the connection.
+			if !s.writeResponse(conn, enc, &Response{OK: false,
+				Error: "p4runtime: malformed request: " + err.Error()}) {
+				return
+			}
+			continue
+		}
+		if !s.writeResponse(conn, enc, s.dispatchSafe(&req)) {
 			return
 		}
 	}
+}
+
+func (s *Server) writeResponse(conn net.Conn, enc *json.Encoder, resp *Response) bool {
+	if d := s.writeTimeout(); d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	return enc.Encode(resp) == nil
+}
+
+// dispatchSafe turns a dispatch panic into an error Response.
+func (s *Server) dispatchSafe(req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = &Response{ID: req.ID, OK: false,
+				Error: fmt.Sprintf("p4runtime: internal error: %v", r)}
+		}
+	}()
+	return s.dispatch(req)
+}
+
+// dedupKey builds the idempotency key for a mutation ("" disables
+// dedup for clients that do not identify themselves).
+func dedupKey(req *Request) string {
+	if req.Client == "" {
+		return ""
+	}
+	return req.Client + ":" + strconv.FormatInt(req.ID, 10)
 }
 
 func (s *Server) dispatch(req *Request) *Response {
@@ -194,7 +446,7 @@ func (s *Server) dispatch(req *Request) *Response {
 		}
 		u := &shim.Update{Table: req.Table, Entry: e}
 		if req.Type == "insert" {
-			err = s.Shim.Apply(u)
+			err = s.Shim.ApplyWithKey(dedupKey(req), u)
 		} else {
 			err = s.Shim.Validate(u)
 		}
@@ -210,11 +462,44 @@ func (s *Server) dispatch(req *Request) *Response {
 		if err != nil {
 			return fail(err)
 		}
-		err = s.Shim.Apply(&shim.Update{
+		err = s.Shim.ApplyWithKey(dedupKey(req), &shim.Update{
 			Table:      req.Table,
 			SetDefault: &dataplane.DefaultAction{Action: e.Action, Params: e.Params},
 		})
 		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case "batch":
+		if len(req.Update) == 0 {
+			return fail(fmt.Errorf("p4runtime: empty batch"))
+		}
+		updates := make([]*shim.Update, 0, len(req.Update))
+		for i, um := range req.Update {
+			if um.Entry == nil {
+				return fail(fmt.Errorf("p4runtime: batch update %d missing entry", i))
+			}
+			e, err := DecodeEntry(um.Entry)
+			if err != nil {
+				return fail(fmt.Errorf("p4runtime: batch update %d: %w", i, err))
+			}
+			u := &shim.Update{Table: um.Table}
+			switch um.Op {
+			case "insert":
+				u.Entry = e
+			case "set_default":
+				u.SetDefault = &dataplane.DefaultAction{Action: e.Action, Params: e.Params}
+			default:
+				return fail(fmt.Errorf("p4runtime: batch update %d has unknown op %q", i, um.Op))
+			}
+			updates = append(updates, u)
+		}
+		if err := s.Shim.ApplyBatchWithKey(dedupKey(req), updates); err != nil {
+			var be *shim.BatchError
+			if errors.As(err, &be) {
+				idx := be.Index
+				resp.FailedIndex = &idx
+			}
 			return fail(err)
 		}
 		resp.OK = true
@@ -253,52 +538,192 @@ func (s *Server) dispatch(req *Request) *Response {
 	return resp
 }
 
-// Client is the controller side of the protocol.
+// Options tunes the client's resilience behavior. The zero value gives
+// sane production defaults.
+type Options struct {
+	// CallTimeout bounds one request/response round trip (default 30s).
+	CallTimeout time.Duration
+	// MaxAttempts is the total number of tries per call, reconnecting
+	// between attempts (default 10; 1 disables retries).
+	MaxAttempts int
+	// BackoffBase is the first retry delay; it doubles per attempt up to
+	// BackoffMax, with jitter (defaults 10ms / 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed makes the client ID and jitter deterministic (0 = random).
+	Seed int64
+	// Dialer overrides the transport (e.g. a faultnet.Dialer for chaos
+	// tests). The default dials addr over TCP.
+	Dialer func() (net.Conn, error)
+}
+
+// Client is the controller side of the protocol. Calls are safe for
+// concurrent use; each call is retried across reconnects, and because
+// every request carries (client ID, request ID) the shim applies a
+// retried mutation at most once.
 type Client struct {
+	mu   sync.Mutex
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
-	mu   sync.Mutex
 	next int64
+	id   string
+	opts Options
+	rng  *mrand.Rand
 }
 
-// Dial connects to a shim server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a shim server with default resilience options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects with explicit resilience options.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	if opts.Dialer == nil {
+		opts.Dialer = func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	c := newClient(opts)
+	conn, err := opts.Dialer()
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	c.setConn(conn)
+	return c, nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection. Without a dialer the client
+// cannot reconnect, so calls fail fast on transport errors.
 func NewClient(conn net.Conn) *Client {
-	return &Client{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	c := newClient(Options{MaxAttempts: 1})
+	c.setConn(conn)
+	return c
+}
+
+func newClient(opts Options) *Client {
+	if opts.CallTimeout == 0 {
+		opts.CallTimeout = 30 * time.Second
 	}
+	if opts.MaxAttempts == 0 {
+		opts.MaxAttempts = 10
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 10 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = time.Second
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		var b [8]byte
+		rand.Read(b[:])
+		for i, x := range b {
+			seed |= int64(x) << (8 * i)
+		}
+		seed &= 1<<62 - 1
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+	var idb [6]byte
+	rng.Read(idb[:])
+	return &Client{opts: opts, id: hex.EncodeToString(idb[:]), rng: rng}
+}
+
+// ID returns the client's wire identity (used for idempotent retries).
+func (c *Client) ID() string { return c.id }
+
+func (c *Client) setConn(conn net.Conn) {
+	c.conn = conn
+	c.enc = json.NewEncoder(conn)
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// backoff sleeps before retry attempt a (a ≥ 1): exponential in a,
+// capped, with jitter to avoid thundering-herd reconnects.
+func (c *Client) backoff(a int) {
+	d := c.opts.BackoffBase << (a - 1)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	time.Sleep(d)
+}
 
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.next++
 	req.ID = c.next
+	req.Client = c.id
+
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt)
+		}
+		if c.conn == nil {
+			if c.opts.Dialer == nil {
+				break
+			}
+			conn, err := c.opts.Dialer()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.setConn(conn)
+		}
+		resp, err := c.try(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		c.conn.Close()
+		c.conn = nil
+		if c.opts.Dialer == nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("p4runtime: %s request failed after %d attempts: %w",
+		req.Type, c.opts.MaxAttempts, lastErr)
+}
+
+// try performs one round trip on the current connection.
+func (c *Client) try(req *Request) (*Response, error) {
+	if d := c.opts.CallTimeout; d > 0 {
+		c.conn.SetDeadline(time.Now().Add(d))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return nil, err
 	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, err
+	for {
+		var resp Response
+		if err := c.dec.Decode(&resp); err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.ID == req.ID:
+			return &resp, nil
+		case resp.ID == 0 && !resp.OK:
+			// Connection-level error (frame limit, conn cap, malformed
+			// frame): surface it; the caller reconnects and retries.
+			return nil, fmt.Errorf("p4runtime: server error: %s", resp.Error)
+		case resp.ID < req.ID:
+			continue // stale response from an earlier request; skip
+		default:
+			return nil, fmt.Errorf("p4runtime: response id %d for request %d", resp.ID, req.ID)
+		}
 	}
-	if resp.ID != req.ID {
-		return nil, fmt.Errorf("p4runtime: response id %d for request %d", resp.ID, req.ID)
-	}
-	return &resp, nil
 }
 
 // Insert adds a table entry; a *RejectionError-shaped error means the
@@ -335,6 +760,56 @@ func (c *Client) SetDefault(table, action string, params []*big.Int) error {
 	}
 	if !resp.OK {
 		return fmt.Errorf("%s", resp.Error)
+	}
+	return nil
+}
+
+// BatchOp is one element of a client-side batch: set Entry for an
+// insert, Default for a default-action change.
+type BatchOp struct {
+	Table   string
+	Entry   *dataplane.Entry
+	Default *dataplane.DefaultAction
+}
+
+// BatchRejectedError reports a rejected (and fully rolled back) batch.
+type BatchRejectedError struct {
+	// Index is the offending update's position, or -1 if unknown.
+	Index   int
+	Message string
+}
+
+func (e *BatchRejectedError) Error() string { return e.Message }
+
+// WriteBatch applies a rule bundle atomically: either every update is
+// validated and applied, or none is and a *BatchRejectedError reports
+// the first offender.
+func (c *Client) WriteBatch(ops []BatchOp) error {
+	msgs := make([]UpdateMsg, 0, len(ops))
+	for _, op := range ops {
+		um := UpdateMsg{Table: op.Table}
+		switch {
+		case op.Entry != nil:
+			um.Op = "insert"
+			um.Entry = EncodeEntry(op.Entry)
+		case op.Default != nil:
+			um.Op = "set_default"
+			um.Entry = EncodeEntry(&dataplane.Entry{Action: op.Default.Action, Params: op.Default.Params})
+		default:
+			return fmt.Errorf("p4runtime: batch op for table %s has neither entry nor default", op.Table)
+		}
+		msgs = append(msgs, um)
+	}
+	resp, err := c.roundTrip(&Request{Type: "batch", Update: msgs})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		idx := -1
+		if resp.FailedIndex != nil {
+			idx = *resp.FailedIndex
+		}
+		return &BatchRejectedError{Index: idx, Message: resp.Error}
 	}
 	return nil
 }

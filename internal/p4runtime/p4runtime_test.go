@@ -8,6 +8,7 @@ import (
 
 	"bf4/internal/dataplane"
 	"bf4/internal/driver"
+	"bf4/internal/ir"
 	"bf4/internal/shim"
 	"bf4/internal/spec"
 )
@@ -67,7 +68,9 @@ control Dep(packet_out pkt, in headers hdr) { apply { pkt.emit(hdr.ipv4); } }
 V1Switch(P(), Ing(), Eg(), Dep()) main;
 `
 
-func startServer(t *testing.T) (*Client, func()) {
+// natProgram compiles the NAT example and returns its IR plus the
+// inferred spec, shared by the protocol and chaos tests.
+func natProgram(t *testing.T) (*ir.Program, *spec.File) {
 	t.Helper()
 	res, err := driver.Run("simple_nat", natSrc, driver.DefaultConfig())
 	if err != nil {
@@ -77,12 +80,17 @@ func startServer(t *testing.T) (*Client, func()) {
 	if pl == nil {
 		pl = res.Initial
 	}
-	file := spec.Build("simple_nat", pl.IR, res.InitialRep, res.FinalInfer, nil)
+	return pl.IR, spec.Build("simple_nat", pl.IR, res.InitialRep, res.FinalInfer, nil)
+}
+
+func startServer(t *testing.T) (*Client, func()) {
+	t.Helper()
+	prog, file := natProgram(t)
 	sh, err := shim.New(file)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &Server{Shim: sh, Prog: pl.IR}
+	srv := &Server{Shim: sh, Prog: prog}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,92 @@
+package shim
+
+import (
+	"fmt"
+
+	"bf4/internal/dataplane"
+)
+
+// BatchError reports which update of an atomic batch was rejected. The
+// whole batch is rolled back: no update in it reached the shadow state.
+type BatchError struct {
+	// Index is the position of the offending update within the batch.
+	Index int
+	// Size is the batch length.
+	Size int
+	// Err is the underlying rejection (usually a *RejectionError).
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("shim: batch update %d/%d rejected (batch rolled back): %v", e.Index+1, e.Size, e.Err)
+}
+
+// Unwrap exposes the underlying rejection to errors.Is/As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// ApplyBatch validates a bundle of updates transactionally: each update
+// is checked against the shadow state including the batch's earlier
+// updates, and if any is rejected the whole batch is rolled back —
+// all-or-nothing, matching how controllers push rule bundles.
+func (s *Shim) ApplyBatch(updates []*Update) error {
+	return s.ApplyBatchWithKey("", updates)
+}
+
+// ApplyBatchWithKey is ApplyBatch with an idempotency key (see
+// ApplyWithKey).
+func (s *Shim) ApplyBatchWithKey(key string, updates []*Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err, seen := s.lookupApplied(key); seen {
+		return err
+	}
+	rollback, err := s.applyBatchLocked(updates)
+	if err == nil {
+		if jerr := s.journalLocked(key, updates); jerr != nil {
+			rollback()
+			err = jerr
+		} else {
+			err = s.maybeCheckpointLocked()
+		}
+	}
+	s.recordOutcome(key, err)
+	return err
+}
+
+// applyBatchLocked validates and commits the batch; on rejection it
+// rolls back internally and returns the error. On success the returned
+// closure undoes the batch (used if journaling fails).
+func (s *Shim) applyBatchLocked(updates []*Update) (func(), error) {
+	// Record rollback points: shadow lengths and prior defaults for
+	// every table the batch touches.
+	lengths := map[string]int{}
+	priorDefaults := map[string]*dataplane.DefaultAction{}
+	hadDefault := map[string]bool{}
+	for _, u := range updates {
+		if _, ok := lengths[u.Table]; !ok {
+			lengths[u.Table] = len(s.shadow[u.Table])
+			d, ok := s.defaults[u.Table]
+			priorDefaults[u.Table], hadDefault[u.Table] = d, ok
+		}
+	}
+	rollback := func() {
+		for t, n := range lengths {
+			s.shadow[t] = s.shadow[t][:n]
+		}
+		for t := range priorDefaults {
+			if hadDefault[t] {
+				s.defaults[t] = priorDefaults[t]
+			} else {
+				delete(s.defaults, t)
+			}
+		}
+	}
+	for i, u := range updates {
+		if err := s.validateLocked(u); err != nil {
+			rollback()
+			return nil, &BatchError{Index: i, Size: len(updates), Err: err}
+		}
+		s.commitLocked(u)
+	}
+	return rollback, nil
+}

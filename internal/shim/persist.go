@@ -1,0 +1,449 @@
+package shim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"os"
+	"path/filepath"
+
+	"bf4/internal/dataplane"
+)
+
+// Persistence: the shim's shadow tables, runtime defaults and
+// applied-request-ID window are serialized to a snapshot file plus a
+// small append-only journal, so a restarted shim (`bf4-shim -state-dir`)
+// recovers its exact state without any controller replay. Layout:
+//
+//	<dir>/snapshot.json   — full state as of journal sequence Seq
+//	<dir>/journal.jsonl   — one record per applied mutation since Seq
+//
+// Mutations are journaled before they are committed to memory; recovery
+// loads the snapshot and replays the journal (already-validated updates
+// are applied directly). When the journal exceeds CompactEvery records
+// it is folded into a fresh snapshot written atomically (tmp + rename)
+// and truncated.
+
+const (
+	snapshotName   = "snapshot.json"
+	journalName    = "journal.jsonl"
+	snapshotFormat = 1
+)
+
+// persistKey is the serialized form of one dataplane.KeyMatch.
+type persistKey struct {
+	Value     string `json:"v"`
+	Mask      string `json:"m,omitempty"`
+	PrefixLen *int   `json:"p,omitempty"`
+}
+
+// persistEntry is the serialized form of one dataplane.Entry.
+type persistEntry struct {
+	Keys     []persistKey `json:"keys"`
+	Action   string       `json:"action"`
+	Params   []string     `json:"params,omitempty"`
+	Priority int          `json:"priority,omitempty"`
+}
+
+// persistDefault is the serialized form of a runtime default action.
+type persistDefault struct {
+	Action string   `json:"action"`
+	Params []string `json:"params,omitempty"`
+}
+
+// persistOp is one mutation inside a journal record.
+type persistOp struct {
+	Table   string          `json:"table"`
+	Entry   *persistEntry   `json:"entry,omitempty"`
+	Default *persistDefault `json:"default,omitempty"`
+}
+
+// journalRecord is one line of journal.jsonl.
+type journalRecord struct {
+	Seq int64       `json:"seq"`
+	Key string      `json:"key,omitempty"`
+	Ops []persistOp `json:"ops"`
+}
+
+// snapshotFile is the on-disk snapshot format.
+type snapshotFile struct {
+	Format   int                        `json:"format"`
+	Program  string                     `json:"program"`
+	Seq      int64                      `json:"seq"`
+	Tables   map[string][]*persistEntry `json:"tables"`
+	Defaults map[string]*persistDefault `json:"defaults,omitempty"`
+	// Applied lists the dedup window's successfully applied keys,
+	// oldest first.
+	Applied []string `json:"applied,omitempty"`
+}
+
+func encodeEntry(e *dataplane.Entry) *persistEntry {
+	pe := &persistEntry{Action: e.Action, Priority: e.Priority}
+	for _, k := range e.Keys {
+		pk := persistKey{Value: k.Value.Text(10)}
+		if k.Mask != nil {
+			pk.Mask = k.Mask.Text(10)
+		}
+		if k.PrefixLen >= 0 {
+			pl := k.PrefixLen
+			pk.PrefixLen = &pl
+		}
+		pe.Keys = append(pe.Keys, pk)
+	}
+	for _, p := range e.Params {
+		pe.Params = append(pe.Params, p.Text(10))
+	}
+	return pe
+}
+
+func decodePersistInt(s string) (*big.Int, error) {
+	v, ok := new(big.Int).SetString(s, 10)
+	if !ok || v.Sign() < 0 {
+		return nil, fmt.Errorf("shim: corrupt persisted integer %q", s)
+	}
+	return v, nil
+}
+
+// decodePersistMask decodes a ternary mask; "-1" is the dataplane's
+// full-mask sentinel (two's-complement all-ones at any width) and is
+// the one negative value a valid journal can contain.
+func decodePersistMask(s string) (*big.Int, error) {
+	if s == "-1" {
+		return big.NewInt(-1), nil
+	}
+	return decodePersistInt(s)
+}
+
+func decodeEntry(pe *persistEntry) (*dataplane.Entry, error) {
+	e := &dataplane.Entry{Action: pe.Action, Priority: pe.Priority}
+	for _, pk := range pe.Keys {
+		v, err := decodePersistInt(pk.Value)
+		if err != nil {
+			return nil, err
+		}
+		km := dataplane.KeyMatch{Value: v, PrefixLen: -1}
+		if pk.Mask != "" {
+			m, err := decodePersistMask(pk.Mask)
+			if err != nil {
+				return nil, err
+			}
+			km.Mask = m
+		}
+		if pk.PrefixLen != nil {
+			km.PrefixLen = *pk.PrefixLen
+		}
+		e.Keys = append(e.Keys, km)
+	}
+	for _, p := range pe.Params {
+		v, err := decodePersistInt(p)
+		if err != nil {
+			return nil, err
+		}
+		e.Params = append(e.Params, v)
+	}
+	return e, nil
+}
+
+func encodeDefault(d *dataplane.DefaultAction) *persistDefault {
+	pd := &persistDefault{Action: d.Action}
+	for _, p := range d.Params {
+		pd.Params = append(pd.Params, p.Text(10))
+	}
+	return pd
+}
+
+func decodeDefault(pd *persistDefault) (*dataplane.DefaultAction, error) {
+	d := &dataplane.DefaultAction{Action: pd.Action}
+	for _, p := range pd.Params {
+		v, err := decodePersistInt(p)
+		if err != nil {
+			return nil, err
+		}
+		d.Params = append(d.Params, v)
+	}
+	return d, nil
+}
+
+// Store journals shim mutations under a state directory.
+type Store struct {
+	dir     string
+	journal *os.File
+	recs    int
+
+	// CompactEvery folds the journal into a fresh snapshot once it
+	// reaches this many records (default 4096).
+	CompactEvery int
+	// NoSync skips the per-record fsync (faster, loses the last records
+	// on power failure; process crashes are still covered by the OS).
+	NoSync bool
+}
+
+// OpenStore creates (or reuses) a state directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shim: state dir: %w", err)
+	}
+	return &Store{dir: dir, CompactEvery: 4096}, nil
+}
+
+// Dir returns the state directory path.
+func (st *Store) Dir() string { return st.dir }
+
+// JournalPath returns the journal file path (for diagnostics upload).
+func (st *Store) JournalPath() string { return filepath.Join(st.dir, journalName) }
+
+// SnapshotPath returns the snapshot file path.
+func (st *Store) SnapshotPath() string { return filepath.Join(st.dir, snapshotName) }
+
+// Close closes the journal file.
+func (st *Store) Close() error {
+	if st.journal == nil {
+		return nil
+	}
+	err := st.journal.Close()
+	st.journal = nil
+	return err
+}
+
+// AttachStore loads any persisted state from st into the shim — snapshot
+// first, then journal replay — and journals every subsequent mutation.
+// Call once, before serving traffic.
+func (s *Shim) AttachStore(st *Store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		return fmt.Errorf("shim: store already attached")
+	}
+
+	// 1. Snapshot.
+	if data, err := os.ReadFile(st.SnapshotPath()); err == nil {
+		var snap snapshotFile
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("shim: corrupt snapshot: %w", err)
+		}
+		if snap.Format != snapshotFormat {
+			return fmt.Errorf("shim: unsupported snapshot format %d", snap.Format)
+		}
+		for table, pes := range snap.Tables {
+			for _, pe := range pes {
+				e, err := decodeEntry(pe)
+				if err != nil {
+					return err
+				}
+				s.shadow[table] = append(s.shadow[table], e)
+			}
+		}
+		for table, pd := range snap.Defaults {
+			d, err := decodeDefault(pd)
+			if err != nil {
+				return err
+			}
+			s.defaults[table] = d
+		}
+		for _, key := range snap.Applied {
+			s.recordOutcome(key, nil)
+		}
+		s.seq = snap.Seq
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("shim: read snapshot: %w", err)
+	}
+
+	// 2. Journal replay: records hold already-validated updates, applied
+	// directly (this is exactly what makes controller replay unnecessary).
+	if jf, err := os.Open(st.JournalPath()); err == nil {
+		sc := bufio.NewScanner(jf)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec journalRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				// A torn final record (crash mid-append) is expected; it
+				// was never acknowledged, so dropping it is safe. Stop at
+				// the first unparsable line.
+				break
+			}
+			for _, op := range rec.Ops {
+				u := &Update{Table: op.Table}
+				if op.Entry != nil {
+					e, err := decodeEntry(op.Entry)
+					if err != nil {
+						jf.Close()
+						return err
+					}
+					u.Entry = e
+				}
+				if op.Default != nil {
+					d, err := decodeDefault(op.Default)
+					if err != nil {
+						jf.Close()
+						return err
+					}
+					u.SetDefault = d
+				}
+				s.commitLocked(u)
+			}
+			s.recordOutcome(rec.Key, nil)
+			s.seq = rec.Seq
+			st.recs++
+		}
+		jf.Close()
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("shim: read journal: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("shim: open journal: %w", err)
+	}
+
+	// 3. Reopen the journal for appending.
+	jf, err := os.OpenFile(st.JournalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("shim: open journal: %w", err)
+	}
+	st.journal = jf
+	s.store = st
+	return nil
+}
+
+// journalLocked appends one record covering updates. A nil store is a
+// no-op. Called with s.mu held, before the updates are committed.
+func (s *Shim) journalLocked(key string, updates []*Update) error {
+	st := s.store
+	if st == nil {
+		return nil
+	}
+	rec := journalRecord{Seq: s.seq + 1, Key: key}
+	for _, u := range updates {
+		op := persistOp{Table: u.Table}
+		if u.Entry != nil {
+			op.Entry = encodeEntry(u.Entry)
+		}
+		if u.SetDefault != nil {
+			op.Default = encodeDefault(u.SetDefault)
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("shim: journal encode: %w", err)
+	}
+	if _, err := st.journal.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("shim: journal append: %w", err)
+	}
+	if !st.NoSync {
+		if err := st.journal.Sync(); err != nil {
+			return fmt.Errorf("shim: journal sync: %w", err)
+		}
+	}
+	s.seq = rec.Seq
+	st.recs++
+	return nil
+}
+
+// maybeCheckpointLocked compacts once the journal is due. Must run after
+// the journaled updates are committed, so the snapshot includes them.
+func (s *Shim) maybeCheckpointLocked() error {
+	st := s.store
+	if st == nil || st.CompactEvery <= 0 || st.recs < st.CompactEvery {
+		return nil
+	}
+	return s.checkpointLocked()
+}
+
+// Checkpoint folds the journal into a freshly written snapshot.
+func (s *Shim) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return fmt.Errorf("shim: no store attached")
+	}
+	return s.checkpointLocked()
+}
+
+func (s *Shim) checkpointLocked() error {
+	st := s.store
+	snap := snapshotFile{
+		Format:   snapshotFormat,
+		Program:  s.file.Program,
+		Seq:      s.seq,
+		Tables:   map[string][]*persistEntry{},
+		Defaults: map[string]*persistDefault{},
+	}
+	for table, es := range s.shadow {
+		for _, e := range es {
+			snap.Tables[table] = append(snap.Tables[table], encodeEntry(e))
+		}
+	}
+	for table, d := range s.defaults {
+		snap.Defaults[table] = encodeDefault(d)
+	}
+	// Dedup window, oldest first (ring order), applied keys only.
+	for i := 0; i < len(s.appliedOrder); i++ {
+		key := s.appliedOrder[(s.appliedHead+i)%len(s.appliedOrder)]
+		if err, ok := s.applied[key]; ok && err == nil {
+			snap.Applied = append(snap.Applied, key)
+		}
+	}
+	data, err := json.MarshalIndent(&snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("shim: snapshot encode: %w", err)
+	}
+	tmp := st.SnapshotPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("shim: snapshot write: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("shim: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("shim: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, st.SnapshotPath()); err != nil {
+		return fmt.Errorf("shim: snapshot rename: %w", err)
+	}
+	// Truncate the journal: its records are folded into the snapshot.
+	if st.journal != nil {
+		st.journal.Close()
+	}
+	jf, err := os.OpenFile(st.JournalPath(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("shim: journal truncate: %w", err)
+	}
+	st.journal = jf
+	st.recs = 0
+	return nil
+}
+
+// MarshalSnapshot serializes the shadow state (tables + runtime
+// defaults) deterministically: table names sorted (JSON map order),
+// entries in insertion order. Two shims holding the same logical state
+// produce byte-identical output — the equality the chaos tests assert.
+func (s *Shim) MarshalSnapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := struct {
+		Tables   map[string][]*persistEntry `json:"tables"`
+		Defaults map[string]*persistDefault `json:"defaults,omitempty"`
+	}{Tables: map[string][]*persistEntry{}, Defaults: map[string]*persistDefault{}}
+	for table, es := range s.shadow {
+		if len(es) == 0 {
+			continue
+		}
+		for _, e := range es {
+			out.Tables[table] = append(out.Tables[table], encodeEntry(e))
+		}
+	}
+	for table, d := range s.defaults {
+		out.Defaults[table] = encodeDefault(d)
+	}
+	return json.MarshalIndent(&out, "", " ")
+}

@@ -1,0 +1,230 @@
+package shim
+
+import (
+	"bytes"
+	"math/big"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bf4/internal/dataplane"
+)
+
+// applyWorkload drives a mixed workload (inserts, a default, a batch,
+// one rejection) against sh, using dedup keys like a real controller.
+func applyWorkload(t *testing.T, sh *Shim) {
+	t.Helper()
+	for i := int64(0); i < 5; i++ {
+		if err := sh.ApplyWithKey("c:"+string(rune('a'+i)), insertT(20+i, "NoAction")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.ApplyWithKey("c:def", &Update{
+		Table:      "t",
+		SetDefault: &dataplane.DefaultAction{Action: "NoAction"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.ApplyBatchWithKey("c:batch", []*Update{insertU(1), insertU(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.ApplyWithKey("c:rej", insertT(0, "act")); err == nil {
+		t.Fatal("forbidden update accepted")
+	}
+}
+
+func TestCrashRecoveryWithoutReplay(t *testing.T) {
+	dir := t.TempDir()
+	sh, err := New(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	applyWorkload(t, sh)
+	want, err := sh.MarshalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate kill -9: no Close, no Checkpoint — the journal alone must
+	// carry the state.
+
+	sh2, err := New(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh2.AttachStore(st2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh2.MarshalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("recovered state differs:\nwant %s\ngot  %s", want, got)
+	}
+
+	// The dedup window survived: a post-restart retry of an applied
+	// request is not double-applied.
+	before := sh2.ShadowSize("t")
+	if err := sh2.ApplyWithKey("c:a", insertT(20, "NoAction")); err != nil {
+		t.Fatal(err)
+	}
+	if sh2.ShadowSize("t") != before {
+		t.Fatal("retry after restart double-applied")
+	}
+}
+
+func TestCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	sh, err := New(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.CompactEvery = 3
+	if err := sh.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		if err := sh.Apply(insertT(30+i, "NoAction")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 8 records at CompactEvery=3 → at least two compactions; the
+	// snapshot exists and the journal holds < 3 records.
+	if _, err := os.Stat(st.SnapshotPath()); err != nil {
+		t.Fatalf("no snapshot after compaction: %v", err)
+	}
+	if st.recs >= 3 {
+		t.Fatalf("journal not truncated: %d records", st.recs)
+	}
+	want, _ := sh.MarshalSnapshot()
+
+	sh2, _ := New(tinySpec())
+	st2, _ := OpenStore(dir)
+	if err := sh2.AttachStore(st2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sh2.MarshalSnapshot()
+	if !bytes.Equal(want, got) {
+		t.Fatalf("compacted state differs:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+func TestTornJournalTailIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	sh, _ := New(tinySpec())
+	st, _ := OpenStore(dir)
+	if err := sh.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Apply(insertT(1, "NoAction")); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sh.MarshalSnapshot()
+
+	// A crash mid-append leaves a torn, unacknowledged record.
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":2,"ops":[{"table":"t","en`)
+	f.Close()
+
+	sh2, _ := New(tinySpec())
+	st2, _ := OpenStore(dir)
+	if err := sh2.AttachStore(st2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sh2.MarshalSnapshot()
+	if !bytes.Equal(want, got) {
+		t.Fatalf("torn tail corrupted recovery:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+func TestExplicitCheckpointThenRestore(t *testing.T) {
+	dir := t.TempDir()
+	sh, _ := New(tinySpec())
+	st, _ := OpenStore(dir)
+	if err := sh.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	applyWorkload(t, sh)
+	if err := sh.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// After a checkpoint the journal is empty; state restores from the
+	// snapshot alone.
+	data, err := os.ReadFile(st.JournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("journal not empty after checkpoint: %d bytes", len(data))
+	}
+	want, _ := sh.MarshalSnapshot()
+	sh2, _ := New(tinySpec())
+	st2, _ := OpenStore(dir)
+	if err := sh2.AttachStore(st2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sh2.MarshalSnapshot()
+	if !bytes.Equal(want, got) {
+		t.Fatal("checkpoint-only restore differs")
+	}
+}
+
+func TestMarshalSnapshotDeterministic(t *testing.T) {
+	a, _ := New(tinySpec())
+	b, _ := New(tinySpec())
+	for _, sh := range []*Shim{a, b} {
+		applyWorkload(t, sh)
+	}
+	sa, _ := a.MarshalSnapshot()
+	sb, _ := b.MarshalSnapshot()
+	if !bytes.Equal(sa, sb) {
+		t.Fatal("same workload, different snapshots")
+	}
+}
+
+func TestFullMaskSentinelSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	sh, _ := New(tinySpec())
+	st, _ := OpenStore(dir)
+	if err := sh.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	// Mask -1 is the dataplane's full-mask sentinel; it must round-trip
+	// through the journal.
+	u := &Update{Table: "t", Entry: &dataplane.Entry{
+		Keys:   []dataplane.KeyMatch{{Value: big.NewInt(3), Mask: big.NewInt(-1), PrefixLen: -1}},
+		Action: "NoAction",
+	}}
+	if err := sh.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sh.MarshalSnapshot()
+
+	sh2, _ := New(tinySpec())
+	st2, _ := OpenStore(dir)
+	if err := sh2.AttachStore(st2); err != nil {
+		t.Fatalf("restore with full-mask entry: %v", err)
+	}
+	got, _ := sh2.MarshalSnapshot()
+	if !bytes.Equal(want, got) {
+		t.Fatalf("full-mask entry corrupted:\nwant %s\ngot  %s", want, got)
+	}
+}

@@ -1,0 +1,83 @@
+package shim
+
+// LatencyStats summarizes a latency stream with bounded memory: running
+// count/mean/max over the full stream, plus a bounded window of the most
+// recent samples for percentile estimation. This replaces the unbounded
+// per-sample slices that would grow without limit in a long-running shim.
+type LatencyStats struct {
+	// Count is the total number of samples observed.
+	Count int64
+	// MeanNs is the running mean over all samples.
+	MeanNs float64
+	// MaxNs is the largest sample observed.
+	MaxNs int64
+	// SampleNs holds the most recent samples, oldest first, capped at
+	// the shim's reservoir capacity (see SetStatsCap). While Count is at
+	// or below the capacity it is the complete stream.
+	SampleNs []int64
+}
+
+// reservoir is a fixed-capacity ring of the most recent samples plus
+// running aggregates. Deterministic: the retained window depends only on
+// the sample order, never on randomness.
+type reservoir struct {
+	cap   int
+	buf   []int64
+	head  int // next write position once the ring is full
+	count int64
+	sum   float64
+	max   int64
+}
+
+func newReservoir(capacity int) reservoir {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return reservoir{cap: capacity}
+}
+
+func (r *reservoir) add(ns int64) {
+	r.count++
+	r.sum += float64(ns)
+	if ns > r.max {
+		r.max = ns
+	}
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, ns)
+		return
+	}
+	r.buf[r.head] = ns
+	r.head = (r.head + 1) % r.cap
+}
+
+// setCap resizes the reservoir, keeping the most recent samples that
+// fit. Aggregates (count/mean/max) are unaffected.
+func (r *reservoir) setCap(capacity int) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	lin := r.snapshot().SampleNs
+	if len(lin) > capacity {
+		lin = lin[len(lin)-capacity:]
+	}
+	r.cap = capacity
+	r.buf = lin
+	r.head = 0
+}
+
+// snapshot copies the reservoir out as LatencyStats, samples oldest
+// first.
+func (r *reservoir) snapshot() LatencyStats {
+	st := LatencyStats{Count: r.count, MaxNs: r.max}
+	if r.count > 0 {
+		st.MeanNs = r.sum / float64(r.count)
+	}
+	if len(r.buf) < r.cap {
+		st.SampleNs = append([]int64(nil), r.buf...)
+		return st
+	}
+	st.SampleNs = make([]int64, 0, len(r.buf))
+	st.SampleNs = append(st.SampleNs, r.buf[r.head:]...)
+	st.SampleNs = append(st.SampleNs, r.buf[:r.head]...)
+	return st
+}

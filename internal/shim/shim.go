@@ -56,23 +56,50 @@ type compiledAssertion struct {
 }
 
 // Stats aggregates validation outcomes and latencies (for §5.3).
+// Latency streams are kept in bounded reservoirs (see LatencyStats) so a
+// long-running shim holds constant memory regardless of update count.
 type Stats struct {
 	Validated int
 	Rejected  int
-	// PerAssertionNs records the latency of every single-assertion
-	// evaluation; PerUpdateNs records whole-update validation latency.
-	PerAssertionNs []int64
-	PerUpdateNs    []int64
+	// PerAssertion summarizes single-assertion evaluation latency;
+	// PerUpdate summarizes whole-update validation latency.
+	PerAssertion LatencyStats
+	PerUpdate    LatencyStats
 }
+
+// DefaultStatsCap is the default latency-reservoir capacity.
+const DefaultStatsCap = 8192
+
+// DefaultDedupWindow is the default size of the applied-request-ID
+// window used for idempotent retries.
+const DefaultDedupWindow = 4096
 
 // Shim validates and tracks controller updates for one P4 program.
 type Shim struct {
-	mu      sync.Mutex
-	f       *smt.Factory
-	file    *spec.File
-	byTable map[string][]*compiledAssertion
-	shadow  map[string][]*dataplane.Entry
-	stats   Stats
+	mu       sync.Mutex
+	f        *smt.Factory
+	file     *spec.File
+	byTable  map[string][]*compiledAssertion
+	shadow   map[string][]*dataplane.Entry
+	defaults map[string]*dataplane.DefaultAction
+	counters struct{ validated, rejected int }
+
+	perAssertion reservoir
+	perUpdate    reservoir
+
+	// applied is the idempotency window: outcome of recently applied
+	// (or rejected) keyed mutations, so a retried request after an
+	// ambiguous transport failure is not double-applied.
+	applied      map[string]error
+	appliedOrder []string
+	appliedHead  int
+
+	dedupCap int
+
+	// store, when attached, journals mutations and snapshots state for
+	// crash recovery.
+	store *Store
+	seq   int64
 
 	// AutofillSynthesizedKeys lets rules from a controller that predates
 	// the Fixes pass be accepted: updates that omit exactly the
@@ -85,10 +112,15 @@ type Shim struct {
 // New compiles a spec file into a shim.
 func New(file *spec.File) (*Shim, error) {
 	s := &Shim{
-		f:       smt.NewFactory(),
-		file:    file,
-		byTable: map[string][]*compiledAssertion{},
-		shadow:  map[string][]*dataplane.Entry{},
+		f:            smt.NewFactory(),
+		file:         file,
+		byTable:      map[string][]*compiledAssertion{},
+		shadow:       map[string][]*dataplane.Entry{},
+		defaults:     map[string]*dataplane.DefaultAction{},
+		perAssertion: newReservoir(DefaultStatsCap),
+		perUpdate:    newReservoir(DefaultStatsCap),
+		applied:      map[string]error{},
+		appliedOrder: make([]string, 0, DefaultDedupWindow),
 	}
 	for _, a := range file.Assertions {
 		ca := &compiledAssertion{src: a, primary: file.Table(a.Table)}
@@ -126,10 +158,38 @@ func New(file *spec.File) (*Shim, error) {
 func (s *Shim) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cp := s.stats
-	cp.PerAssertionNs = append([]int64(nil), s.stats.PerAssertionNs...)
-	cp.PerUpdateNs = append([]int64(nil), s.stats.PerUpdateNs...)
-	return cp
+	return Stats{
+		Validated:    s.counters.validated,
+		Rejected:     s.counters.rejected,
+		PerAssertion: s.perAssertion.snapshot(),
+		PerUpdate:    s.perUpdate.snapshot(),
+	}
+}
+
+// SetStatsCap bounds the latency reservoirs to the given number of
+// samples (default DefaultStatsCap). Call before serving traffic for
+// exact percentile windows.
+func (s *Shim) SetStatsCap(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.perAssertion.setCap(n)
+	s.perUpdate.setCap(n)
+}
+
+// SetDedupWindow bounds the applied-request-ID window (default
+// DefaultDedupWindow entries).
+func (s *Shim) SetDedupWindow(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	// Reset: the window only affects retries in flight, which a
+	// reconfiguration boundary need not preserve.
+	s.applied = map[string]error{}
+	s.appliedOrder = make([]string, 0, n)
+	s.appliedHead = 0
+	s.dedupCap = n
 }
 
 // ShadowSize returns the number of shadow entries for a table.
@@ -148,16 +208,69 @@ func (s *Shim) Validate(u *Update) error {
 
 // Apply validates an update and, when safe, records it in the shadow
 // state (mirroring its insertion into the switch).
-func (s *Shim) Apply(u *Update) error {
+func (s *Shim) Apply(u *Update) error { return s.ApplyWithKey("", u) }
+
+// ApplyWithKey is Apply with an idempotency key: a key already in the
+// dedup window returns the recorded outcome without re-applying, so a
+// controller retrying after an ambiguous transport failure cannot
+// double-insert a rule. An empty key disables deduplication.
+func (s *Shim) ApplyWithKey(key string, u *Update) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.validateLocked(u); err != nil {
+	if err, seen := s.lookupApplied(key); seen {
 		return err
 	}
+	err := s.validateLocked(u)
+	if err == nil {
+		// Journal before committing: on a journal failure nothing is
+		// applied, and after a crash the journal is the source of truth.
+		if err = s.journalLocked(key, []*Update{u}); err == nil {
+			s.commitLocked(u)
+			err = s.maybeCheckpointLocked()
+		}
+	}
+	s.recordOutcome(key, err)
+	return err
+}
+
+// commitLocked records a validated update in the shadow state.
+func (s *Shim) commitLocked(u *Update) {
 	if u.Entry != nil {
 		s.shadow[u.Table] = append(s.shadow[u.Table], u.Entry)
 	}
-	return nil
+	if u.SetDefault != nil {
+		s.defaults[u.Table] = u.SetDefault
+	}
+}
+
+func (s *Shim) lookupApplied(key string) (error, bool) {
+	if key == "" {
+		return nil, false
+	}
+	err, ok := s.applied[key]
+	return err, ok
+}
+
+func (s *Shim) recordOutcome(key string, err error) {
+	if key == "" {
+		return
+	}
+	if _, ok := s.applied[key]; ok {
+		s.applied[key] = err
+		return
+	}
+	capacity := s.dedupCap
+	if capacity == 0 {
+		capacity = DefaultDedupWindow
+	}
+	if len(s.appliedOrder) < capacity {
+		s.appliedOrder = append(s.appliedOrder, key)
+	} else {
+		delete(s.applied, s.appliedOrder[s.appliedHead])
+		s.appliedOrder[s.appliedHead] = key
+		s.appliedHead = (s.appliedHead + 1) % capacity
+	}
+	s.applied[key] = err
 }
 
 // Snapshot materializes the shadow state as a dataplane snapshot.
@@ -168,26 +281,29 @@ func (s *Shim) Snapshot() *dataplane.Snapshot {
 	for t, es := range s.shadow {
 		snap.Entries[t] = append([]*dataplane.Entry(nil), es...)
 	}
+	for t, d := range s.defaults {
+		snap.Defaults[t] = d
+	}
 	return snap
 }
 
 func (s *Shim) validateLocked(u *Update) error {
 	start := time.Now()
 	defer func() {
-		s.stats.PerUpdateNs = append(s.stats.PerUpdateNs, time.Since(start).Nanoseconds())
+		s.perUpdate.add(time.Since(start).Nanoseconds())
 	}()
-	s.stats.Validated++
+	s.counters.validated++
 
 	ts := s.file.Table(u.Table)
 	if ts == nil {
-		s.stats.Rejected++
+		s.counters.rejected++
 		return &RejectionError{Table: u.Table, Reason: "unknown table"}
 	}
 	// Default-rule policy: reject buggy actions outright (§4.4).
 	if u.SetDefault != nil {
 		for _, a := range ts.Actions {
 			if a.Name == u.SetDefault.Action && a.Buggy {
-				s.stats.Rejected++
+				s.counters.rejected++
 				return &RejectionError{Table: u.Table,
 					Reason: fmt.Sprintf("default action %s has a reachable bug", a.Name)}
 			}
@@ -195,14 +311,14 @@ func (s *Shim) validateLocked(u *Update) error {
 		return nil
 	}
 	if u.Entry == nil {
-		s.stats.Rejected++
+		s.counters.rejected++
 		return &RejectionError{Table: u.Table, Reason: "empty update"}
 	}
 	if s.AutofillSynthesizedKeys {
 		s.autofill(ts, u.Entry)
 	}
 	if len(u.Entry.Keys) != len(ts.Keys) {
-		s.stats.Rejected++
+		s.counters.rejected++
 		return &RejectionError{Table: u.Table,
 			Reason: fmt.Sprintf("entry has %d keys, table has %d", len(u.Entry.Keys), len(ts.Keys))}
 	}
@@ -214,9 +330,9 @@ func (s *Shim) validateLocked(u *Update) error {
 		for i, term := range ca.terms {
 			aStart := time.Now()
 			violated := s.evalCondition(ca, i, term, env, bound, ts)
-			s.stats.PerAssertionNs = append(s.stats.PerAssertionNs, time.Since(aStart).Nanoseconds())
+			s.perAssertion.add(time.Since(aStart).Nanoseconds())
 			if violated {
-				s.stats.Rejected++
+				s.counters.rejected++
 				return &RejectionError{Table: u.Table, Assertion: ca.src, Forbidden: ca.src.Forbidden[i]}
 			}
 		}

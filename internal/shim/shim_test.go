@@ -269,10 +269,13 @@ func TestShimStatsLatencies(t *testing.T) {
 		}})
 	}
 	st := sh.Stats()
-	if len(st.PerUpdateNs) != 50 {
-		t.Fatalf("per-update samples = %d", len(st.PerUpdateNs))
+	if len(st.PerUpdate.SampleNs) != 50 || st.PerUpdate.Count != 50 {
+		t.Fatalf("per-update samples = %d count = %d", len(st.PerUpdate.SampleNs), st.PerUpdate.Count)
 	}
-	for _, ns := range st.PerUpdateNs {
+	if st.PerUpdate.MeanNs <= 0 || st.PerUpdate.MaxNs <= 0 {
+		t.Fatalf("aggregates not tracked: %+v", st.PerUpdate)
+	}
+	for _, ns := range st.PerUpdate.SampleNs {
 		if ns <= 0 {
 			t.Fatal("non-positive latency sample")
 		}
