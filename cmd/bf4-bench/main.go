@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		run         = flag.String("run", "all", "experiment: table1, slicing, infer, multitable, dontcare, p4v, vera, shim, overhead, stages, all")
+		run         = flag.String("run", "all", "experiment: table1, discharge, slicing, infer, multitable, dontcare, p4v, vera, shim, overhead, stages, all")
 		switchScale = flag.Int("switch-scale", 8, "generated switch scale for switch-based experiments")
 		updates     = flag.Int("updates", 2000, "controller updates for the shim experiment")
 		veraBudget  = flag.Duration("vera-budget", 20*time.Second, "budget for symbolic Vera exploration")
@@ -61,6 +61,19 @@ func main() {
 			fmt.Print(experiments.RenderTable1Stable(rows))
 		} else {
 			fmt.Print(experiments.RenderTable1(rows))
+		}
+		return nil
+	})
+
+	dispatch("discharge", func() error {
+		rows, err := experiments.Discharge(*switchScale, *jobs, true)
+		if err != nil {
+			return err
+		}
+		if *stable {
+			fmt.Print(experiments.RenderDischargeStable(rows))
+		} else {
+			fmt.Print(experiments.RenderDischarge(rows))
 		}
 		return nil
 	})

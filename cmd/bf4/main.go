@@ -26,12 +26,20 @@ import (
 	"fmt"
 	"os"
 
+	"bf4/internal/analysis"
 	"bf4/internal/driver"
+	"bf4/internal/ir"
+	"bf4/internal/p4/parser"
+	"bf4/internal/p4/types"
 	"bf4/internal/progs"
 	"bf4/internal/spec"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		lintMain(os.Args[2:])
+		return
+	}
 	var (
 		corpusName   = flag.String("corpus", "", "analyze a named corpus program (see -list)")
 		list         = flag.Bool("list", false, "list corpus programs and exit")
@@ -45,6 +53,7 @@ func main() {
 		verbose      = flag.Bool("v", false, "verbose bug listing")
 		showTrace    = flag.Bool("trace", false, "print a counterexample trace for each reachable bug")
 		jobs         = flag.Int("j", 0, "inference worker pool size (0 = GOMAXPROCS; results identical for every value)")
+		analysisMode = flag.String("analysis", "on", "static-analysis pre-pass: on discharges statically-safe checks before the solver, off runs every query (verdicts are identical either way)")
 	)
 	flag.Parse()
 
@@ -77,6 +86,14 @@ func main() {
 	}
 
 	cfg := driver.DefaultConfig()
+	switch *analysisMode {
+	case "on":
+		cfg.Analysis = true
+	case "off":
+		cfg.Analysis = false
+	default:
+		fatalf("bf4: -analysis must be on or off, got %q", *analysisMode)
+	}
 	cfg.Slicing = !*noSlice
 	cfg.IR.DontCare = !*noDontCare
 	cfg.Infer.UseDontCare = !*noDontCare
@@ -89,6 +106,11 @@ func main() {
 	}
 
 	fmt.Println(res.Summary())
+	if res.Analysis != nil {
+		st := res.Analysis.Stats
+		fmt.Printf("analysis: discharged %d/%d checks statically (%d via header-validity alone); %d lint diagnostic(s)\n",
+			st.Discharged, st.BugChecks, st.DischargedValidity, len(res.Analysis.Diags))
+	}
 	if *verbose {
 		for _, b := range res.InitialRep.Bugs {
 			verdict := "unreachable"
@@ -148,6 +170,86 @@ func main() {
 			fmt.Printf("wrote fixed program to %s\n", *fixedOut)
 		}
 	}
+}
+
+// lintMain implements `bf4 lint`: run only the static-analysis layer and
+// report diagnostics, without any solver work. Exit status is 1 when an
+// error-severity diagnostic (a definite static bug) is found, 2 on usage
+// or compile failure, 0 otherwise.
+func lintMain(args []string) {
+	fs := flag.NewFlagSet("bf4 lint", flag.ExitOnError)
+	var (
+		corpusName  = fs.String("corpus", "", "lint a named corpus program")
+		switchScale = fs.Int("switch-scale", 0, "lint a generated switch program at this scale")
+		jsonOut     = fs.Bool("json", false, "emit diagnostics as JSON")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bf4 lint [-json] (program.p4 | -corpus name | -switch-scale n)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	name, src := "", ""
+	switch {
+	case *corpusName != "":
+		p := progs.Get(*corpusName)
+		if p == nil {
+			fatalf("unknown corpus program %q (use bf4 -list)", *corpusName)
+		}
+		name, src = p.Name+".p4", p.Source
+	case *switchScale > 0:
+		name, src = fmt.Sprintf("switch@%d.p4", *switchScale), progs.GenerateSwitch(*switchScale)
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		name, src = fs.Arg(0), string(data)
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	res, err := Lint(name, src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		data, err := analysis.RenderJSON(name, res.Diags)
+		if err != nil {
+			fatalf("render: %v", err)
+		}
+		fmt.Printf("%s\n", data)
+	} else {
+		fmt.Print(analysis.RenderText(name, res.Diags))
+	}
+	for _, d := range res.Diags {
+		if d.Severity == analysis.SevError {
+			os.Exit(1)
+		}
+	}
+}
+
+// Lint compiles src through the frontend and runs the static-analysis
+// layer. Frontend errors come back with name: prefixed to every
+// diagnostic line (file:line:col).
+func Lint(name, src string) (*analysis.Result, error) {
+	prog, err := parser.ParseFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, parser.PrefixFile(name, err)
+	}
+	p, err := ir.Build(prog, info, ir.DefaultOptions())
+	if err != nil {
+		return nil, parser.PrefixFile(name, err)
+	}
+	return analysis.Run(p, prog), nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"bf4/internal/ir"
+	"bf4/internal/p4/ast"
+)
+
+// Stats quantify the pre-pass for the experiments layer.
+type Stats struct {
+	// BugChecks is the number of CFG-reachable instrumented bug checks
+	// (the solver workload without the pre-pass).
+	BugChecks int `json:"bug_checks"`
+	// Discharged is how many of those the abstract interpretation proved
+	// unreachable; their solver queries are skipped.
+	Discharged int `json:"discharged"`
+	// DischargedValidity counts the subset already proven by the
+	// header-validity lattice alone (the rest needed full constant
+	// propagation).
+	DischargedValidity int `json:"discharged_validity"`
+	// Iterations sums worklist transfer applications across all analyses.
+	Iterations int `json:"iterations"`
+}
+
+// Result bundles everything the static-analysis layer produced for one
+// program.
+type Result struct {
+	// Diags are the lint findings, sorted and deduplicated.
+	Diags []Diagnostic
+	// Discharge marks bug nodes proven unreachable; core.FindBugsSkipping
+	// skips their solver queries with verdict "unreachable" guaranteed.
+	Discharge map[*ir.Node]bool
+	Stats     Stats
+}
+
+// Run executes the static-analysis layer over a lowered program: constant
+// propagation & reachability, header validity, dead-write liveness, and —
+// when the source AST is supplied — table lint. The forward analyses are
+// sound abstractions of the IR semantics (unknown inputs and table
+// outcomes stay unknown), so a bug node they prove unreachable is
+// unreachable on every concrete execution and its weakest-precondition
+// query is unsatisfiable; discharging it cannot change any verdict.
+func Run(p *ir.Program, prog *ast.Program) *Result {
+	reach := p.Reachable()
+
+	cp := SolveForward(p.Start, NewConstProp(p))
+	val := SolveForward(p.Start, NewValidity(p))
+	live := SolveBackward(p.Start, NewLiveness(p))
+
+	res := &Result{Discharge: map[*ir.Node]bool{}}
+	res.Stats.Iterations = cp.Iterations + val.Iterations + live.Iterations
+
+	// Discharge: constant propagation tracks a superset of what the
+	// validity lattice tracks (with identical refinement), so its
+	// discharge set subsumes validity's; the validity run attributes how
+	// much the cheap lattice achieves alone.
+	byValidity := dischargeSet(p, reach, val)
+	res.Discharge = dischargeSet(p, reach, cp)
+	for n := range byValidity {
+		res.Discharge[n] = true
+	}
+	for _, bn := range p.Bugs {
+		if reach[bn] {
+			res.Stats.BugChecks++
+		}
+	}
+	res.Stats.Discharged = len(res.Discharge)
+	res.Stats.DischargedValidity = len(byValidity)
+
+	// Lint. Definite validity bugs come from the validity facts; definite
+	// bugs of other classes from the richer constprop facts.
+	res.Diags = append(res.Diags, definiteBugLint(p, val, "header-validity", validityKind)...)
+	res.Diags = append(res.Diags, definiteBugLint(p, cp, "constprop",
+		func(k ir.BugKind) bool { return !validityKind(k) })...)
+	res.Diags = append(res.Diags, constPropLint(p, cp)...)
+	res.Diags = append(res.Diags, deadWriteLint(p, reach, live)...)
+	if prog != nil {
+		res.Diags = append(res.Diags, TableLint(prog)...)
+	}
+	sortDiags(res.Diags)
+	res.Diags = dedupeDiags(res.Diags)
+	return res
+}

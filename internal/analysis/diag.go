@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bf4/internal/p4/token"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severity levels. Error marks definite static bugs (every execution
+// reaching the site misbehaves); Warning marks likely mistakes that
+// cannot break verification (dead stores, shadowed keys); Info marks
+// observations (unreachable code).
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+var sevNames = map[Severity]string{
+	SevInfo: "info", SevWarning: "warning", SevError: "error",
+}
+
+func (s Severity) String() string { return sevNames[s] }
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for k, v := range sevNames {
+		if v == name {
+			*s = k
+			return nil
+		}
+	}
+	return fmt.Errorf("analysis: unknown severity %q", name)
+}
+
+// Diagnostic is one lint finding with a stable source position.
+type Diagnostic struct {
+	// Pass names the analyzer that produced the finding (e.g.
+	// "header-validity", "dead-write").
+	Pass     string   `json:"pass"`
+	Severity Severity `json:"severity"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Msg      string   `json:"message"`
+}
+
+// Pos returns the diagnostic's source position.
+func (d Diagnostic) Pos() token.Pos { return token.Pos{Line: d.Line, Col: d.Col} }
+
+// Format renders the diagnostic as file:line:col: severity: msg [pass].
+// An empty file yields line:col without the file prefix; an invalid
+// position drops line:col entirely.
+func (d Diagnostic) Format(file string) string {
+	var b strings.Builder
+	if file != "" {
+		b.WriteString(file)
+		b.WriteString(":")
+	}
+	if d.Line > 0 {
+		fmt.Fprintf(&b, "%d:%d:", d.Line, d.Col)
+	}
+	if b.Len() > 0 {
+		b.WriteString(" ")
+	}
+	fmt.Fprintf(&b, "%s: %s [%s]", d.Severity, d.Msg, d.Pass)
+	return b.String()
+}
+
+// sortDiags orders diagnostics by position, then severity (errors
+// first), pass and message — a total, input-order-independent order so
+// renderings are byte-stable for golden files and CI diffing.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// dedupeDiags removes exact duplicates from a sorted slice (distinct IR
+// nodes lowered from one source construct produce identical findings).
+func dedupeDiags(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// RenderText renders diagnostics one per line for terminals, ending with
+// a count summary.
+func RenderText(file string, ds []Diagnostic) string {
+	var b strings.Builder
+	errs, warns := 0, 0
+	for _, d := range ds {
+		b.WriteString(d.Format(file))
+		b.WriteString("\n")
+		switch d.Severity {
+		case SevError:
+			errs++
+		case SevWarning:
+			warns++
+		}
+	}
+	fmt.Fprintf(&b, "%d error(s), %d warning(s), %d diagnostic(s)\n", errs, warns, len(ds))
+	return b.String()
+}
+
+// jsonReport is the machine-readable lint output schema.
+type jsonReport struct {
+	File        string       `json:"file"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Errors      int          `json:"errors"`
+	Warnings    int          `json:"warnings"`
+}
+
+// RenderJSON renders diagnostics as a stable, indented JSON report.
+func RenderJSON(file string, ds []Diagnostic) ([]byte, error) {
+	rep := jsonReport{File: file, Diagnostics: ds}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []Diagnostic{}
+	}
+	for _, d := range ds {
+		switch d.Severity {
+		case SevError:
+			rep.Errors++
+		case SevWarning:
+			rep.Warnings++
+		}
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}

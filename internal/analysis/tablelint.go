@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"fmt"
+
+	"bf4/internal/p4/ast"
+	"bf4/internal/p4/token"
+)
+
+// TableLint checks table and action declarations syntactically: duplicate
+// (shadowed) keys, actions bound to a table more than once, tables that
+// are never applied, and actions never referenced by any table, switch
+// label or direct call. It works on the AST (not the IR) so that tables
+// the pipeline never applies — which the lowering drops entirely — are
+// still covered, and every finding carries a declaration position.
+func TableLint(prog *ast.Program) []Diagnostic {
+	var ds []Diagnostic
+	for _, d := range prog.Decls {
+		ctl, ok := d.(*ast.ControlDecl)
+		if !ok {
+			continue
+		}
+		type actionDecl struct {
+			pos  token.Pos
+			used bool
+		}
+		actions := map[string]*actionDecl{}
+		var actionOrder []string
+		type tableDecl struct {
+			td      *ast.TableDecl
+			applied bool
+		}
+		tables := map[string]*tableDecl{}
+		var tableOrder []string
+		for _, l := range ctl.Locals {
+			switch x := l.(type) {
+			case *ast.ActionDecl:
+				if _, dup := actions[x.Name]; !dup {
+					actions[x.Name] = &actionDecl{pos: x.P}
+					actionOrder = append(actionOrder, x.Name)
+				}
+			case *ast.TableDecl:
+				if _, dup := tables[x.Name]; !dup {
+					tables[x.Name] = &tableDecl{td: x}
+					tableOrder = append(tableOrder, x.Name)
+				}
+			}
+		}
+
+		useAction := func(name string) {
+			if a, ok := actions[name]; ok {
+				a.used = true
+			}
+		}
+		applyTable := func(e ast.Expr) {
+			if id, ok := e.(*ast.Ident); ok {
+				if t, ok := tables[id.Name]; ok {
+					t.applied = true
+				}
+			}
+		}
+
+		// Per-table checks and action references from action lists.
+		for _, name := range tableOrder {
+			td := tables[name].td
+			seenKey := map[string]token.Pos{}
+			for _, k := range td.Keys {
+				path := ast.PathString(k.Expr)
+				if first, dup := seenKey[path]; dup {
+					ds = append(ds, Diagnostic{
+						Pass:     "table-lint",
+						Severity: SevWarning,
+						Line:     k.P.Line,
+						Col:      k.P.Col,
+						Msg: fmt.Sprintf("table %s: key %s duplicates the key at %s (one of them is shadowed)",
+							td.Name, path, first),
+					})
+					continue
+				}
+				seenKey[path] = k.P
+			}
+			seenAct := map[string]bool{}
+			for _, a := range td.Actions {
+				useAction(a.Name)
+				if seenAct[a.Name] {
+					ds = append(ds, Diagnostic{
+						Pass:     "table-lint",
+						Severity: SevWarning,
+						Line:     a.P.Line,
+						Col:      a.P.Col,
+						Msg:      fmt.Sprintf("table %s: action %s is listed more than once", td.Name, a.Name),
+					})
+				}
+				seenAct[a.Name] = true
+			}
+			if td.Default != nil {
+				useAction(td.Default.Name)
+			}
+		}
+
+		// Walk the apply block and every action body for table applies and
+		// direct action calls.
+		var walkStmt func(s ast.Stmt)
+		var walkExpr func(e ast.Expr)
+		walkExpr = func(e ast.Expr) {
+			switch x := e.(type) {
+			case *ast.CallExpr:
+				switch fun := x.Fun.(type) {
+				case *ast.Ident:
+					useAction(fun.Name)
+				case *ast.Member:
+					if fun.Name == "apply" {
+						applyTable(fun.X)
+					}
+					walkExpr(fun.X)
+				}
+				for _, a := range x.Args {
+					walkExpr(a)
+				}
+			case *ast.Member:
+				walkExpr(x.X)
+			case *ast.IndexExpr:
+				walkExpr(x.X)
+				walkExpr(x.Index)
+			case *ast.UnaryExpr:
+				walkExpr(x.X)
+			case *ast.BinaryExpr:
+				walkExpr(x.X)
+				walkExpr(x.Y)
+			case *ast.CastExpr:
+				walkExpr(x.X)
+			case *ast.TernaryExpr:
+				walkExpr(x.Cond)
+				walkExpr(x.Then)
+				walkExpr(x.Else)
+			}
+		}
+		walkStmt = func(s ast.Stmt) {
+			switch x := s.(type) {
+			case *ast.BlockStmt:
+				for _, st := range x.Stmts {
+					walkStmt(st)
+				}
+			case *ast.IfStmt:
+				walkExpr(x.Cond)
+				walkStmt(x.Then)
+				if x.Else != nil {
+					walkStmt(x.Else)
+				}
+			case *ast.SwitchStmt:
+				applyTable(x.Table)
+				for _, c := range x.Cases {
+					useAction(c.Label)
+					if c.Body != nil {
+						walkStmt(c.Body)
+					}
+				}
+			case *ast.AssignStmt:
+				walkExpr(x.LHS)
+				walkExpr(x.RHS)
+			case *ast.CallStmt:
+				walkExpr(x.Call)
+			case *ast.VarDeclStmt:
+				if x.Decl != nil && x.Decl.Init != nil {
+					walkExpr(x.Decl.Init)
+				}
+			}
+		}
+		if ctl.Apply != nil {
+			walkStmt(ctl.Apply)
+		}
+		for _, name := range actionOrder {
+			if ad, ok := actionLookup(ctl, name); ok && ad.Body != nil {
+				walkStmt(ad.Body)
+			}
+		}
+
+		for _, name := range tableOrder {
+			t := tables[name]
+			if !t.applied {
+				ds = append(ds, Diagnostic{
+					Pass:     "table-lint",
+					Severity: SevWarning,
+					Line:     t.td.P.Line,
+					Col:      t.td.P.Col,
+					Msg:      fmt.Sprintf("table %s is declared but never applied", name),
+				})
+			}
+		}
+		for _, name := range actionOrder {
+			a := actions[name]
+			if !a.used {
+				ds = append(ds, Diagnostic{
+					Pass:     "table-lint",
+					Severity: SevInfo,
+					Line:     a.pos.Line,
+					Col:      a.pos.Col,
+					Msg:      fmt.Sprintf("action %s is never referenced by a table or called directly", name),
+				})
+			}
+		}
+	}
+	return ds
+}
+
+func actionLookup(ctl *ast.ControlDecl, name string) (*ast.ActionDecl, bool) {
+	for _, l := range ctl.Locals {
+		if ad, ok := l.(*ast.ActionDecl); ok && ad.Name == name {
+			return ad, true
+		}
+	}
+	return nil, false
+}

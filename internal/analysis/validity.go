@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+
+	"bf4/internal/ir"
+)
+
+// validityKind reports whether a bug class is guarded by a header-validity
+// condition — the classes the header-validity analysis can discharge or
+// prove definite on its own.
+func validityKind(k ir.BugKind) bool {
+	switch k {
+	case ir.BugInvalidHeaderRead, ir.BugInvalidHeaderWrite,
+		ir.BugInvalidKeyRead, ir.BugHeaderOverwrite, ir.BugLiveHeaderNotEmitted:
+		return true
+	}
+	return false
+}
+
+// guardOf locates the instrumentation branch guarding a bug terminal. The
+// builder lowers every check as branch(badCond) with Succs[0] → nop → bug
+// terminal, so the guard is the bug node's grandparent. ok is false when
+// the shape does not match (defensive; all current checks match).
+func guardOf(bn *ir.Node) (g *ir.Node, ok bool) {
+	if len(bn.Preds) != 1 {
+		return nil, false
+	}
+	nop := bn.Preds[0]
+	if len(nop.Preds) != 1 {
+		return nil, false
+	}
+	g = nop.Preds[0]
+	if g.Kind != ir.Branch || len(g.Succs) == 0 || g.Succs[0] != nop {
+		return nil, false
+	}
+	return g, true
+}
+
+// definiteBugLint reports bug sites whose guard condition folds to true
+// under the solved facts: every execution reaching the site trips the
+// check, so it is a static bug needing no solver query. Validity bug
+// classes are attributed to the header-validity pass, the rest to
+// constprop. Sites without a source position (synthetic pipeline-exit
+// checks) are skipped — the solver still covers them.
+func definiteBugLint(p *ir.Program, fs *Facts, pass string, kinds func(ir.BugKind) bool) []Diagnostic {
+	var ds []Diagnostic
+	for _, bn := range p.Bugs {
+		if !kinds(bn.Bug) || !bn.Pos.IsValid() {
+			continue
+		}
+		g, ok := guardOf(bn)
+		if !ok || !fs.Reached(g) {
+			continue
+		}
+		if c := foldedCond(p.F, fs, g); c != nil && c.IsTrue() {
+			ds = append(ds, Diagnostic{
+				Pass:     pass,
+				Severity: SevError,
+				Line:     bn.Pos.Line,
+				Col:      bn.Pos.Col,
+				Msg:      fmt.Sprintf("definite %s: %s (every execution reaching this point trips it)", bn.Bug, bn.Comment),
+			})
+		}
+	}
+	return ds
+}
+
+// dischargeSet returns the CFG-reachable bug nodes the solved facts prove
+// unreachable under every concrete execution — edge pruning starved them
+// of all feasible incoming paths. For these the weakest-precondition
+// reach condition is unsatisfiable, so the solver query can be skipped
+// with verdict "unreachable" guaranteed.
+func dischargeSet(p *ir.Program, cfgReach map[*ir.Node]bool, fs *Facts) map[*ir.Node]bool {
+	out := make(map[*ir.Node]bool)
+	for _, bn := range p.Bugs {
+		if cfgReach[bn] && !fs.Reached(bn) {
+			out[bn] = true
+		}
+	}
+	return out
+}

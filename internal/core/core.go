@@ -105,6 +105,10 @@ type Bug struct {
 	Model smt.Env
 	// Cond is the bug's reachability condition.
 	Cond *smt.Term
+	// Discharged marks a bug whose solver query the static-analysis
+	// pre-pass skipped: the abstract interpretation proved the bug node
+	// unreachable, so the query is unsatisfiable by construction.
+	Discharged bool
 }
 
 // Description renders a human-readable bug summary.
@@ -157,6 +161,17 @@ func (r *Report) ReachableByKind() map[ir.BugKind]int {
 // FindBugs checks reachability of every instrumented bug (paper §4.1:
 // SAT(reach(bug)) per bug node, incrementally on one solver).
 func (pl *Pipeline) FindBugs() *Report {
+	return pl.FindBugsSkipping(nil)
+}
+
+// FindBugsSkipping is FindBugs with a pre-discharge set: bug nodes in
+// skip were proven statically unreachable by internal/analysis, so their
+// reachability condition is unsatisfiable and the solver query can be
+// skipped. Discharged bugs still appear in the report exactly as an unsat
+// answer would leave them (Reachable false, no model), with Discharged
+// set, so every downstream consumer (Infer, Fixes, the spec builder) sees
+// an identical bug list either way.
+func (pl *Pipeline) FindBugsSkipping(skip map[*ir.Node]bool) *Report {
 	start := time.Now()
 	s := solver.New(pl.IR.F)
 	rep := &Report{Pipeline: pl, S: s}
@@ -177,6 +192,11 @@ func (pl *Pipeline) FindBugs() *Report {
 			b.Instance = ap.Instance
 		}
 		if cond.IsFalse() {
+			rep.Bugs = append(rep.Bugs, b)
+			continue
+		}
+		if skip[bn] {
+			b.Discharged = true
 			rep.Bugs = append(rep.Bugs, b)
 			continue
 		}

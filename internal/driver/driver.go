@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"bf4/internal/analysis"
 	"bf4/internal/core"
 	"bf4/internal/fixes"
 	"bf4/internal/infer"
@@ -27,6 +28,12 @@ type Config struct {
 	Infer infer.Options
 	// Slicing enables bug-reachability slicing (paper default: on).
 	Slicing bool
+	// Analysis enables the static-analysis pre-pass (internal/analysis):
+	// bug checks it proves unreachable are discharged without a solver
+	// query, and lint diagnostics are collected on Result.Analysis. It is
+	// a pure optimization for the verification verdict (opt out with
+	// -analysis=off to cross-check).
+	Analysis bool
 	// Workers bounds the per-instance inference fan-out (cmd/bf4's -j);
 	// <= 0 means GOMAXPROCS. It overrides Infer.Workers when set. The
 	// results are identical for every value — only wall-clock changes.
@@ -35,7 +42,7 @@ type Config struct {
 
 // DefaultConfig matches the paper's configuration.
 func DefaultConfig() Config {
-	return Config{IR: ir.DefaultOptions(), Infer: infer.DefaultOptions(), Slicing: true}
+	return Config{IR: ir.DefaultOptions(), Infer: infer.DefaultOptions(), Slicing: true, Analysis: true}
 }
 
 // Result is one full bf4 run over a program (one Table 1 row).
@@ -70,6 +77,9 @@ type Result struct {
 	Fixes       *fixes.Result
 	FixedSource string // fixed P4 program (empty when no fixes)
 	Dataplane   []*core.Bug
+	// Analysis is the static-analysis result for the initial program
+	// (nil when Config.Analysis is off).
+	Analysis *analysis.Result
 }
 
 // Run executes the full bf4 loop on a program.
@@ -85,7 +95,15 @@ func Run(name, src string, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.Initial = pl
-	rep := pl.FindBugs()
+	findBugs := func(pl *core.Pipeline) (*core.Report, *analysis.Result) {
+		if !cfg.Analysis {
+			return pl.FindBugs(), nil
+		}
+		ar := analysis.Run(pl.IR, pl.AST)
+		return pl.FindBugsSkipping(ar.Discharge), ar
+	}
+	rep, ar := findBugs(pl)
+	res.Analysis = ar
 	res.InitialRep = rep
 	res.Bugs = rep.NumReachable()
 
@@ -123,7 +141,7 @@ func Run(name, src string, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("rebuild with fixes: %w", err)
 		}
 		res.Fixed = pl2
-		rep2 := pl2.FindBugs()
+		rep2, _ := findBugs(pl2)
 		inf2 := infer.Run(pl2, rep2, cfg.Infer)
 		res.FinalInfer = inf2
 		res.BugsAfterFixes = len(inf2.Uncontrolled)

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bf4/internal/driver"
+	"bf4/internal/pool"
+	"bf4/internal/progs"
+	"bf4/internal/solver"
+	"bf4/internal/spec"
+)
+
+// DischargeRow compares one corpus program verified with the
+// static-analysis pre-pass on vs off.
+type DischargeRow struct {
+	Program string
+	// Checks is the number of instrumented bug checks the abstract
+	// interpretation saw (the CFG-reachable solver workload).
+	Checks int
+	// Discharged is how many the pre-pass proved unreachable without a
+	// solver query; Validity is the subset the header-validity lattice
+	// alone handled.
+	Discharged int
+	Validity   int
+	// QueriesOn/QueriesOff count initial-report solver Checks with the
+	// pre-pass on and off.
+	QueriesOn, QueriesOff int
+	// SolveOn/SolveOff are the initial bug-finding solve times.
+	SolveOn, SolveOff time.Duration
+	// Identical reports whether the two runs produced byte-identical
+	// verification verdicts and inferred annotations (bug counts, per-bug
+	// verdicts, fixes, and the rendered controller spec).
+	Identical bool
+	// CrossChecked counts discharged queries re-proven unsat by the
+	// solver inside a Push/Pop scope (0 unless cross-checking is on).
+	CrossChecked int
+	// Diags is the number of lint diagnostics.
+	Diags int
+}
+
+// Discharge runs every corpus program twice — static-analysis pre-pass
+// on and off — and reports per-program discharge counts, solver-time
+// delta, and whether the verdicts and inferred annotations are
+// byte-identical (the pre-pass must be a pure optimization). With
+// crossCheck set, each discharged reachability condition is additionally
+// re-proven unsatisfiable by the solver inside a Push/Pop scope — an
+// end-to-end soundness audit of the abstract interpretation.
+func Discharge(switchScale, workers int, crossCheck bool) ([]DischargeRow, error) {
+	type job struct{ name, src string }
+	var jobs []job
+	for _, p := range progs.All() {
+		src := p.Source
+		if p.Name == "switch" {
+			if switchScale == 0 {
+				continue
+			}
+			src = progs.GenerateSwitch(switchScale)
+		}
+		jobs = append(jobs, job{p.Name, src})
+	}
+	rows, err := pool.MapErr(workers, len(jobs), func(i int) (DischargeRow, error) {
+		name, src := jobs[i].name, jobs[i].src
+
+		on := driver.DefaultConfig()
+		on.Analysis = true
+		resOn, err := driver.Run(name, src, on)
+		if err != nil {
+			return DischargeRow{}, fmt.Errorf("%s (analysis on): %w", name, err)
+		}
+		off := driver.DefaultConfig()
+		off.Analysis = false
+		resOff, err := driver.Run(name, src, off)
+		if err != nil {
+			return DischargeRow{}, fmt.Errorf("%s (analysis off): %w", name, err)
+		}
+
+		row := DischargeRow{
+			Program:    name,
+			QueriesOn:  resOn.InitialRep.Checks,
+			QueriesOff: resOff.InitialRep.Checks,
+			SolveOn:    resOn.InitialRep.SolveTime,
+			SolveOff:   resOff.InitialRep.SolveTime,
+			Identical:  verdictFingerprint(resOn) == verdictFingerprint(resOff),
+		}
+		if ar := resOn.Analysis; ar != nil {
+			row.Checks = ar.Stats.BugChecks
+			row.Discharged = ar.Stats.Discharged
+			row.Validity = ar.Stats.DischargedValidity
+			row.Diags = len(ar.Diags)
+		}
+
+		if crossCheck && resOn.Analysis != nil {
+			// Audit: every discharged condition must be unsat. Each probe
+			// runs in its own Push/Pop scope so the assertions never
+			// pollute one another while the solver stays incremental.
+			s := solver.New(resOn.Initial.IR.F)
+			for _, b := range resOn.InitialRep.Bugs {
+				if !b.Discharged || b.Cond == nil {
+					continue
+				}
+				s.Push()
+				s.Assert(b.Cond)
+				res := s.Check()
+				s.Pop()
+				if res != solver.Unsat {
+					return DischargeRow{}, fmt.Errorf(
+						"%s: discharged bug %s is not unsat (%v) — analysis unsound",
+						name, b.Description(), res)
+				}
+				row.CrossChecked++
+			}
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Program < rows[j].Program })
+	return rows, nil
+}
+
+// verdictFingerprint renders everything verification-relevant about a
+// run: per-bug verdicts of the initial report, bug counts at every
+// stage, the proposed fixes, and the rendered controller assertions.
+// Two runs agree iff their fingerprints are byte-identical.
+func verdictFingerprint(res *driver.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bugs=%d afterInfer=%d afterFixes=%d keys=%d tables=%d rounds=%d\n",
+		res.Bugs, res.BugsAfterInfer, res.BugsAfterFixes, res.KeysAdded, res.TablesTouched, res.Rounds)
+	for _, bug := range res.InitialRep.Bugs {
+		fmt.Fprintf(&b, "bug %d %s reachable=%v\n", bug.Node.ID, bug.Kind, bug.Reachable)
+	}
+	fmt.Fprintf(&b, "fixes:%s\n", res.Fixes.Describe())
+	finalPl := res.Fixed
+	if finalPl == nil {
+		finalPl = res.Initial
+	}
+	file := spec.Build(res.Name, finalPl.IR, res.InitialRep, res.FinalInfer, res.Fixes.Special)
+	b.WriteString(file.Render())
+	return b.String()
+}
+
+// RenderDischarge prints the discharge comparison with timings.
+func RenderDischarge(rows []DischargeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %7s %10s %9s %9s %10s %10s %10s %9s %6s\n",
+		"Program", "checks", "discharged", "validity", "queries", "queries0", "solve", "solve0", "identical", "diags")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %7d %10d %9d %9d %10d %10s %10s %9v %6d\n",
+			r.Program, r.Checks, r.Discharged, r.Validity, r.QueriesOn, r.QueriesOff,
+			r.SolveOn.Round(time.Millisecond), r.SolveOff.Round(time.Millisecond), r.Identical, r.Diags)
+	}
+	return b.String()
+}
+
+// RenderDischargeStable prints the comparison without timing columns;
+// the remaining fields are deterministic, so CI can diff the output.
+func RenderDischargeStable(rows []DischargeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %7s %10s %9s %9s %10s %9s %6s\n",
+		"Program", "checks", "discharged", "validity", "queries", "queries0", "identical", "diags")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %7d %10d %9d %9d %10d %9v %6d\n",
+			r.Program, r.Checks, r.Discharged, r.Validity, r.QueriesOn, r.QueriesOff, r.Identical, r.Diags)
+	}
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestDischargePureOptimization re-verifies the corpus (switch skipped;
+// the golden lint test covers it) with the pre-pass on vs off: verdicts
+// must match byte-for-byte, a nonzero fraction of checks must be
+// discharged somewhere, and every discharged condition must re-prove
+// unsat under the solver (crossCheck).
+func TestDischargePureOptimization(t *testing.T) {
+	rows, err := Discharge(0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalChecks, totalDischarged := 0, 0
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s: verdicts differ between -analysis=on and off", r.Program)
+		}
+		if r.Discharged > r.Checks {
+			t.Errorf("%s: discharged %d of only %d checks", r.Program, r.Discharged, r.Checks)
+		}
+		totalChecks += r.Checks
+		totalDischarged += r.Discharged
+	}
+	if totalDischarged == 0 {
+		t.Errorf("no checks discharged across the corpus (of %d)", totalChecks)
+	}
+}

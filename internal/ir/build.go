@@ -102,6 +102,12 @@ type builder struct {
 	exitTarget *Node
 	inlining   int
 
+	// stmtPos is the source position of the statement currently being
+	// lowered; assign/havoc/branch nodes are stamped with it so the
+	// static-analysis layer can report diagnostics at stable positions.
+	// Synthetic regions (init, egress-spec epilogue) run with a zero pos.
+	stmtPos token.Pos
+
 	reads      map[string]bool // header paths read by the current lowering
 	stackReads map[string]bool // stacks needing an underflow check
 
@@ -141,6 +147,7 @@ func (b *builder) nop(comment string) *Node {
 func (b *builder) assign(v *Var, rhs *smt.Term) {
 	n := b.p.NewNode(Assign)
 	n.Var = v
+	n.Pos = b.stmtPos
 	if v.Sort.IsBool() {
 		rhs = b.toBool(rhs)
 	} else {
@@ -153,6 +160,7 @@ func (b *builder) assign(v *Var, rhs *smt.Term) {
 func (b *builder) havoc(v *Var) {
 	n := b.p.NewNode(Havoc)
 	n.Var = v
+	n.Pos = b.stmtPos
 	b.emit(n)
 }
 
@@ -161,6 +169,7 @@ func (b *builder) havoc(v *Var) {
 func (b *builder) branch(cond *smt.Term) (thenTail, elseTail *Node) {
 	bn := b.p.NewNode(Branch)
 	bn.Expr = b.toBool(cond)
+	bn.Pos = b.stmtPos
 	b.emit(bn)
 	t := b.nop("then")
 	e := b.nop("else")
@@ -289,7 +298,7 @@ func (b *builder) run(prog *ast.Program) error {
 		b.ctl = nil
 		b.roles = b.rolesOfParser(pl.Parser)
 		budget := b.unrollBudget(pl.Parser)
-		entry := b.buildState(pl.Parser, "start", budget, ingressEntry)
+		entry := b.buildState(pl.Parser, "start", budget, ingressEntry, pl.Parser.P)
 		b.p.Edge(b.cur, entry)
 	} else {
 		b.p.Edge(b.cur, ingressEntry)
@@ -558,8 +567,10 @@ func (b *builder) unrollBudget(pd *ast.ParserDecl) int {
 	return budget
 }
 
-// buildState returns the entry node for (state, budget), memoized.
-func (b *builder) buildState(pd *ast.ParserDecl, name string, budget int, ingressEntry *Node) *Node {
+// buildState returns the entry node for (state, budget), memoized. pos is
+// the position of the transition (or parser declaration) naming the
+// state, used for diagnostics.
+func (b *builder) buildState(pd *ast.ParserDecl, name string, budget int, ingressEntry *Node, pos token.Pos) *Node {
 	switch name {
 	case "accept":
 		return ingressEntry
@@ -582,7 +593,7 @@ func (b *builder) buildState(pd *ast.ParserDecl, name string, budget int, ingres
 		}
 	}
 	if st == nil {
-		b.errorf(token.Pos{}, "parser: unknown state %s", name)
+		b.errorf(pos, "parser: unknown state %s", name)
 		return b.reject
 	}
 	entry := b.nop("state " + key)
@@ -611,7 +622,7 @@ func (b *builder) lowerTransition(pd *ast.ParserDecl, st *ast.StateDecl, budget 
 		return
 	}
 	if tr.Select == nil {
-		b.p.Edge(b.cur, b.buildState(pd, tr.Next, budget-1, ingressEntry))
+		b.p.Edge(b.cur, b.buildState(pd, tr.Next, budget-1, ingressEntry, tr.P))
 		b.cur = nil
 		return
 	}
@@ -639,12 +650,12 @@ func (b *builder) lowerTransition(pd *ast.ParserDecl, st *ast.StateDecl, budget 
 		}
 		if cond.IsTrue() {
 			// Default (or all-default tuple) case: unconditional jump.
-			b.p.Edge(b.cur, b.buildState(pd, c.Next, budget-1, ingressEntry))
+			b.p.Edge(b.cur, b.buildState(pd, c.Next, budget-1, ingressEntry, c.P))
 			b.cur = nil
 			return
 		}
 		t, e := b.branch(cond)
-		b.p.Edge(t, b.buildState(pd, c.Next, budget-1, ingressEntry))
+		b.p.Edge(t, b.buildState(pd, c.Next, budget-1, ingressEntry, c.P))
 		b.cur = e
 	}
 	// No case matched: reject.

@@ -14,6 +14,9 @@ func (b *builder) lowerStmt(s ast.Stmt) {
 	if b.cur == nil {
 		return
 	}
+	if p := s.Pos(); p.IsValid() {
+		b.stmtPos = p
+	}
 	switch x := s.(type) {
 	case *ast.AssignStmt:
 		b.lowerAssign(x)
@@ -397,6 +400,9 @@ func (b *builder) lowerIf(st *ast.IfStmt) {
 		return
 	}
 	t, e := b.branch(cond)
+	// b.cur is the branch node itself; mark it as a source-level `if` so
+	// the constant-condition lint only fires on user-written branches.
+	b.cur.Comment = "if"
 	b.cur = t
 	b.lowerStmt(st.Then)
 	thenTail := b.cur

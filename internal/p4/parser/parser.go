@@ -20,9 +20,9 @@ import (
 func Parse(src string) (*ast.Program, error) {
 	p := newParser(src)
 	prog := p.parseProgram()
-	if len(p.errs) > 0 {
-		msgs := make([]string, len(p.errs))
-		for i, e := range p.errs {
+	if errs := p.allErrors(); len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
 			msgs[i] = e.Error()
 		}
 		return prog, errors.New(strings.Join(msgs, "\n"))
@@ -30,12 +30,36 @@ func Parse(src string) (*ast.Program, error) {
 	return prog, nil
 }
 
+// ParseFile is Parse with a filename attached to every diagnostic:
+// errors print file:line:col: message instead of line:col: message.
+func ParseFile(filename, src string) (*ast.Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return prog, PrefixFile(filename, err)
+	}
+	return prog, nil
+}
+
+// PrefixFile prepends filename: to every line of a frontend diagnostic
+// (parser and typechecker errors are one line:col-prefixed message per
+// line). A nil error or empty filename passes through unchanged.
+func PrefixFile(filename string, err error) error {
+	if err == nil || filename == "" {
+		return err
+	}
+	lines := strings.Split(err.Error(), "\n")
+	for i, l := range lines {
+		lines[i] = filename + ":" + l
+	}
+	return errors.New(strings.Join(lines, "\n"))
+}
+
 // ParseExpr parses a single expression (used by the spec parser and tests).
 func ParseExpr(src string) (ast.Expr, error) {
 	p := newParser(src)
 	e := p.parseExpr()
-	if len(p.errs) > 0 {
-		return nil, p.errs[0]
+	if errs := p.allErrors(); len(errs) > 0 {
+		return nil, errs[0]
 	}
 	if p.tok.Kind != token.EOF {
 		return nil, fmt.Errorf("%s: trailing input after expression", p.tok.Pos)
@@ -66,6 +90,20 @@ func (p *parser) errorf(pos token.Pos, format string, args ...interface{}) {
 	if len(p.errs) < 50 {
 		p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
 	}
+}
+
+// allErrors merges the lexer's diagnostics (unterminated comments and
+// strings, illegal characters — previously dropped entirely) with the
+// parser's own. Lexical errors come first: they are usually the root
+// cause of the parse errors that follow.
+func (p *parser) allErrors() []error {
+	lexErrs := p.lex.Errors()
+	if len(lexErrs) == 0 {
+		return p.errs
+	}
+	out := make([]error, 0, len(lexErrs)+len(p.errs))
+	out = append(out, lexErrs...)
+	return append(out, p.errs...)
 }
 
 func (p *parser) expect(k token.Kind) token.Token {

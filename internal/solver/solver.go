@@ -8,6 +8,7 @@
 package solver
 
 import (
+	"fmt"
 	"math/big"
 
 	"bf4/internal/bitblast"
@@ -35,6 +36,12 @@ type Solver struct {
 
 	lastCore []*smt.Term
 	checks   int
+
+	// scopes holds the activation literal of each open Push frame;
+	// scopeSeq names fresh activation variables (never reused, since Pop
+	// permanently asserts the negation).
+	scopes   []*smt.Term
+	scopeSeq int
 }
 
 // New returns an empty solver over the given term factory.
@@ -75,19 +82,60 @@ func (s *Solver) registerVars(t *smt.Term) {
 	}
 }
 
-// Assert permanently adds t to the solver's constraint set.
+// Assert adds t to the solver's constraint set: permanently when no Push
+// scope is open, otherwise until the innermost scope is popped.
 func (s *Solver) Assert(t *smt.Term) {
+	if n := len(s.scopes); n > 0 {
+		// Guard with the innermost activation literal. Scopes pop LIFO,
+		// so when an outer scope dies every inner one is already dead;
+		// guarding with one literal is enough.
+		t = s.f.Implies(s.scopes[n-1], t)
+	}
 	s.registerVars(t)
 	s.ctx.AssertTrue(t)
 }
+
+// Push opens a retractable assertion scope, emulated with an activation
+// literal (the classic trick for assumption-based incremental SAT):
+// assertions made while the scope is open are guarded by a fresh boolean,
+// Check passes the booleans of all open scopes as extra assumptions, and
+// Pop permanently asserts the negation, turning the scope's assertions
+// into tautologies. Learned clauses survive pops, keeping the solver
+// incremental across scoped probes.
+func (s *Solver) Push() {
+	act := s.f.BoolVar(fmt.Sprintf("$scope%d", s.scopeSeq))
+	s.scopeSeq++
+	s.registerVars(act)
+	s.scopes = append(s.scopes, act)
+}
+
+// Pop closes the innermost Push scope, retracting every assertion made
+// inside it. It panics without a matching Push.
+func (s *Solver) Pop() {
+	n := len(s.scopes)
+	if n == 0 {
+		panic("solver: Pop without matching Push")
+	}
+	act := s.scopes[n-1]
+	s.scopes = s.scopes[:n-1]
+	s.ctx.AssertTrue(s.f.Not(act))
+}
+
+// NumScopes returns the number of currently open Push scopes.
+func (s *Solver) NumScopes() int { return len(s.scopes) }
 
 // Check determines satisfiability of the asserted formulas together with
 // the given assumptions. Unlike Assert, assumptions hold only for this
 // call. After Unsat, UnsatCore returns the subset of assumptions used.
 func (s *Solver) Check(assumptions ...*smt.Term) Result {
 	s.checks++
-	lits := make([]sat.Lit, 0, len(assumptions))
+	lits := make([]sat.Lit, 0, len(assumptions)+len(s.scopes))
 	byLit := make(map[sat.Lit]*smt.Term, len(assumptions))
+	for _, act := range s.scopes {
+		// Activation literals of open scopes are implicit assumptions;
+		// they are not part of the caller's unsat core.
+		lits = append(lits, s.ctx.Literal(act))
+	}
 	for _, a := range assumptions {
 		if a.IsTrue() {
 			continue

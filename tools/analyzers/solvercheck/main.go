@@ -1,0 +1,269 @@
+// Command solvercheck is a repository self-check analyzer: it asserts
+// that every solver Push has a matching Pop on all return paths in our
+// own Go code. Leaking a Push scope silently weakens every later Check
+// (the stale activation literal keeps guarding assertions), so the rule
+// is enforced structurally:
+//
+//   - within a function, Push/Pop calls must balance by the end and at
+//     every return statement (a `defer s.Pop()` counts toward every
+//     exit);
+//   - a nested block (if/for/switch arm) must not change the balance,
+//     which is what makes the guarantee hold on all paths without a full
+//     path-sensitive CFG;
+//   - a Pop with no open scope is flagged immediately.
+//
+// It is deliberately stdlib-only (go/ast + go/parser) so it runs in CI
+// as `go run ./tools/analyzers/solvercheck .` with no external analysis
+// framework. Method calls whose receiver is an imported package
+// identifier (e.g. heap.Push(h, x)) are ignored; solver scopes are
+// niladic method calls x.Push() / x.Pop().
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func main() {
+	root := "."
+	for _, a := range os.Args[1:] {
+		if a != "./..." && a != "." {
+			root = a
+		}
+	}
+	findings, err := checkDir(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "solvercheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s\n", f.pos, f.msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "solvercheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func checkDir(root string) ([]finding, error) {
+	var findings []finding
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		// Tests are exempt: they deliberately exercise misuse (e.g. the
+		// solver's Pop-without-Push panic test). The invariant the analyzer
+		// protects is the production scope discipline.
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		findings = append(findings, checkFile(fset, file)...)
+		return nil
+	})
+	return findings, err
+}
+
+// checkSrc analyzes a single source text (test helper).
+func checkSrc(src string) ([]finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		return nil, err
+	}
+	return checkFile(fset, file), nil
+}
+
+func checkFile(fset *token.FileSet, file *ast.File) []finding {
+	// Imported package names: a call heap.Push(...) is a package function,
+	// not a solver scope.
+	pkgs := map[string]bool{}
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := p
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			name = p[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		pkgs[name] = true
+	}
+	c := &checker{fset: fset, pkgs: pkgs}
+
+	// Analyze every function body independently, including literals.
+	var bodies []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				bodies = append(bodies, x.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, x.Body)
+		}
+		return true
+	})
+	for _, b := range bodies {
+		c.checkBody(b)
+	}
+	return c.findings
+}
+
+type checker struct {
+	fset     *token.FileSet
+	pkgs     map[string]bool
+	findings []finding
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
+	c.findings = append(c.findings, finding{c.fset.Position(pos), fmt.Sprintf(format, args...)})
+}
+
+// scopeCall classifies e as a solver Push/Pop call: a niladic method call
+// x.Push() / x.Pop() whose receiver is not an imported package name.
+func (c *checker) scopeCall(e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name != "Push" && sel.Sel.Name != "Pop" {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && c.pkgs[id.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkBody verifies one function body. Nested function literals are
+// skipped here (they are checked as their own bodies).
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	bal, defers := c.scanBlock(body, 0, 0, true)
+	if net := bal - defers; net > 0 {
+		c.report(body.End()-1, "function ends with %d unpopped solver scope(s)", net)
+	} else if net < 0 {
+		c.report(body.End()-1, "function has %d more Pop(s) than Push(es)", -net)
+	}
+}
+
+// scanBlock walks a statement list with the current open-scope balance
+// and deferred-Pop count, returning the updated values. Nested blocks
+// that change the balance are reported (top==false marks them).
+func (c *checker) scanBlock(b *ast.BlockStmt, bal, defers int, top bool) (int, int) {
+	startBal, startDefers := bal, defers
+	for _, s := range b.List {
+		bal, defers = c.scanStmt(s, bal, defers)
+	}
+	if !top && (bal != startBal || defers != startDefers) {
+		c.report(b.Pos(), "block changes solver Push/Pop balance (by %d); balance scopes within the branch or use defer",
+			(bal-defers)-(startBal-startDefers))
+		// Contain the damage so outer reporting stays meaningful.
+		bal, defers = startBal, startDefers
+	}
+	return bal, defers
+}
+
+func (c *checker) scanStmt(s ast.Stmt, bal, defers int) (int, int) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if kind, ok := c.scopeCall(x.X); ok {
+			if kind == "Push" {
+				bal++
+			} else {
+				if bal-defers <= 0 {
+					c.report(x.Pos(), "Pop without matching Push")
+				} else {
+					bal--
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if sel, ok := x.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Pop" && len(x.Call.Args) == 0 {
+			if id, isID := sel.X.(*ast.Ident); !isID || !c.pkgs[id.Name] {
+				defers++
+			}
+		}
+	case *ast.ReturnStmt:
+		if net := bal - defers; net > 0 {
+			c.report(x.Pos(), "return with %d unpopped solver scope(s)", net)
+		}
+	case *ast.BlockStmt:
+		bal, defers = c.scanBlock(x, bal, defers, false)
+	case *ast.IfStmt:
+		bal, defers = c.scanBlock(x.Body, bal, defers, false)
+		if x.Else != nil {
+			bal, defers = c.scanStmt(x.Else, bal, defers)
+		}
+	case *ast.ForStmt:
+		bal, defers = c.scanBlock(x.Body, bal, defers, false)
+	case *ast.RangeStmt:
+		bal, defers = c.scanBlock(x.Body, bal, defers, false)
+	case *ast.SwitchStmt:
+		for _, cc := range x.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				bal, defers = c.scanCase(cl.Pos(), cl.Body, bal, defers)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range x.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				bal, defers = c.scanCase(cl.Pos(), cl.Body, bal, defers)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range x.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				bal, defers = c.scanCase(cl.Pos(), cl.Body, bal, defers)
+			}
+		}
+	case *ast.LabeledStmt:
+		bal, defers = c.scanStmt(x.Stmt, bal, defers)
+	}
+	return bal, defers
+}
+
+// scanCase treats a case body like a nested block: it must leave the
+// balance unchanged.
+func (c *checker) scanCase(pos token.Pos, stmts []ast.Stmt, bal, defers int) (int, int) {
+	startBal, startDefers := bal, defers
+	for _, s := range stmts {
+		bal, defers = c.scanStmt(s, bal, defers)
+	}
+	if bal != startBal || defers != startDefers {
+		c.report(pos, "case body changes solver Push/Pop balance (by %d)",
+			(bal-defers)-(startBal-startDefers))
+		bal, defers = startBal, startDefers
+	}
+	return bal, defers
+}

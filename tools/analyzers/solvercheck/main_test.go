@@ -1,0 +1,146 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, src string) []finding {
+	t.Helper()
+	fs, err := checkSrc("package p\n" + src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fs
+}
+
+func wantClean(t *testing.T, src string) {
+	t.Helper()
+	if fs := run(t, src); len(fs) != 0 {
+		t.Errorf("expected no findings, got %v", fs)
+	}
+}
+
+func wantFinding(t *testing.T, src, msgFragment string) {
+	t.Helper()
+	fs := run(t, src)
+	for _, f := range fs {
+		if strings.Contains(f.msg, msgFragment) {
+			return
+		}
+	}
+	t.Errorf("expected a finding containing %q, got %v", msgFragment, fs)
+}
+
+func TestBalancedPushPop(t *testing.T) {
+	wantClean(t, `
+func f(s *S) {
+	s.Push()
+	s.Assert(x)
+	s.Pop()
+}`)
+}
+
+func TestDeferPopCoversAllExits(t *testing.T) {
+	wantClean(t, `
+func f(s *S) error {
+	s.Push()
+	defer s.Pop()
+	if bad {
+		return errBad
+	}
+	return nil
+}`)
+}
+
+func TestUnpoppedAtEnd(t *testing.T) {
+	wantFinding(t, `
+func f(s *S) {
+	s.Push()
+	s.Assert(x)
+}`, "unpopped solver scope")
+}
+
+func TestReturnWithOpenScope(t *testing.T) {
+	wantFinding(t, `
+func f(s *S) error {
+	s.Push()
+	if bad {
+		return errBad
+	}
+	s.Pop()
+	return nil
+}`, "return with 1 unpopped solver scope")
+}
+
+func TestPopWithoutPush(t *testing.T) {
+	wantFinding(t, `
+func f(s *S) {
+	s.Pop()
+}`, "Pop without matching Push")
+}
+
+func TestUnbalancedBranch(t *testing.T) {
+	wantFinding(t, `
+func f(s *S) {
+	if cond {
+		s.Push()
+	}
+	s.Pop()
+}`, "block changes solver Push/Pop balance")
+}
+
+func TestUnbalancedSwitchCase(t *testing.T) {
+	wantFinding(t, `
+func f(s *S) {
+	switch mode {
+	case 1:
+		s.Push()
+	}
+	s.Pop()
+}`, "case body changes solver Push/Pop balance")
+}
+
+func TestLoopBodyMustBalance(t *testing.T) {
+	wantClean(t, `
+func f(s *S) {
+	for _, c := range conds {
+		s.Push()
+		s.Assert(c)
+		s.Pop()
+	}
+}`)
+}
+
+func TestPackageHeapPushIgnored(t *testing.T) {
+	// container/heap's Push/Pop are package functions with arguments, and
+	// even a hypothetical niladic heap.Pop() must be excluded because the
+	// receiver is an imported package name.
+	wantClean(t, `
+import "container/heap"
+
+func f(h heap.Interface) {
+	heap.Push(h, 1)
+	heap.Pop(h)
+}`)
+}
+
+func TestFuncLitCheckedIndependently(t *testing.T) {
+	// The literal leaks a scope; the enclosing function is balanced.
+	wantFinding(t, `
+func f(s *S) {
+	g := func() {
+		s.Push()
+	}
+	g()
+}`, "unpopped solver scope")
+}
+
+func TestMorePopsThanPushes(t *testing.T) {
+	wantFinding(t, `
+func f(s *S) {
+	s.Push()
+	s.Pop()
+	s.Pop()
+}`, "Pop without matching Push")
+}
