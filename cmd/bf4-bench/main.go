@@ -5,6 +5,7 @@
 // Usage:
 //
 //	bf4-bench -run table1 [-switch-scale 16] [-j 4] [-stable]
+//	bf4-bench -run rewrite [-json]
 //	bf4-bench -run slicing|infer|multitable|dontcare|p4v|vera|shim|overhead|stages
 //	bf4-bench -run all
 //
@@ -27,12 +28,13 @@ import (
 
 func main() {
 	var (
-		run         = flag.String("run", "all", "experiment: table1, discharge, slicing, infer, multitable, dontcare, p4v, vera, shim, overhead, stages, all")
+		run         = flag.String("run", "all", "experiment: table1, discharge, rewrite, slicing, infer, multitable, dontcare, p4v, vera, shim, overhead, stages, all")
 		switchScale = flag.Int("switch-scale", 8, "generated switch scale for switch-based experiments")
 		updates     = flag.Int("updates", 2000, "controller updates for the shim experiment")
 		veraBudget  = flag.Duration("vera-budget", 20*time.Second, "budget for symbolic Vera exploration")
 		jobs        = flag.Int("j", 0, "worker pool size for parallel experiments (0 = GOMAXPROCS, 1 = serial)")
 		stable      = flag.Bool("stable", false, "render table1 without the runtime column (byte-stable across -j values and machines)")
+		jsonOut     = flag.Bool("json", false, "additionally write machine-readable results (rewrite: BENCH_rewrite.json)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,29 @@ func main() {
 			fmt.Print(experiments.RenderDischargeStable(rows))
 		} else {
 			fmt.Print(experiments.RenderDischarge(rows))
+		}
+		return nil
+	})
+
+	dispatch("rewrite", func() error {
+		rows, err := experiments.RewriteAblation(*switchScale, *jobs)
+		if err != nil {
+			return err
+		}
+		if *stable {
+			fmt.Print(experiments.RenderRewriteStable(rows))
+		} else {
+			fmt.Print(experiments.RenderRewrite(rows))
+		}
+		if *jsonOut {
+			data, err := experiments.RewriteJSON(rows)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile("BENCH_rewrite.json", data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_rewrite.json")
 		}
 		return nil
 	})

@@ -14,6 +14,7 @@
 //	-fixed out.p4      write the fixed program (keys added)
 //	-render            print the SQL-like assertion rendering
 //	-no-slice          disable bug-reachability slicing
+//	-rewrite on|off    term-level simplification before bit-blasting
 //	-no-dontcare       disable dontCare-widened inference
 //	-no-multitable     disable the multi-table heuristic
 //	-j N               inference worker pool size (0 = GOMAXPROCS);
@@ -54,6 +55,7 @@ func main() {
 		showTrace    = flag.Bool("trace", false, "print a counterexample trace for each reachable bug")
 		jobs         = flag.Int("j", 0, "inference worker pool size (0 = GOMAXPROCS; results identical for every value)")
 		analysisMode = flag.String("analysis", "on", "static-analysis pre-pass: on discharges statically-safe checks before the solver, off runs every query (verdicts are identical either way)")
+		rewriteMode  = flag.String("rewrite", "on", "term-level rewrite engine: on simplifies formulas through the known-bits + interval domain before bit-blasting, off blasts them as built (verdicts are identical either way)")
 	)
 	flag.Parse()
 
@@ -93,6 +95,14 @@ func main() {
 		cfg.Analysis = false
 	default:
 		fatalf("bf4: -analysis must be on or off, got %q", *analysisMode)
+	}
+	switch *rewriteMode {
+	case "on":
+		cfg.Rewrite = true
+	case "off":
+		cfg.Rewrite = false
+	default:
+		fatalf("bf4: -rewrite must be on or off, got %q", *rewriteMode)
 	}
 	cfg.Slicing = !*noSlice
 	cfg.IR.DontCare = !*noDontCare

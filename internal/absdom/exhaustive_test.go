@@ -1,0 +1,489 @@
+package absdom
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"bf4/internal/smt"
+)
+
+// The exhaustive soundness check: for every transfer function, every
+// abstract input pair drawn from the enumerated families, and every pair
+// of concrete values in the inputs' concretizations, the concrete result
+// of the operator must lie in the concretization of the transferred
+// output. Widths 1 and 2 enumerate the FULL abstract domain (every
+// reduced known-bits × interval combination); widths 3 and 4 enumerate
+// the known-bits family and the interval family separately (the full
+// product is quadratically larger but adds no new transfer-function
+// paths: reduce() folds either component into the other).
+//
+// Concrete operator semantics are computed in uint64 for speed and
+// cross-checked against smt.Eval by TestConcreteOracle below, so a
+// divergence between this file's oracle and the real evaluator cannot go
+// unnoticed.
+
+func cmask(w int) uint64 { return 1<<uint(w) - 1 }
+
+func csigned(a uint64, w int) int64 {
+	if a&(1<<uint(w-1)) != 0 {
+		return int64(a) - int64(1)<<uint(w)
+	}
+	return int64(a)
+}
+
+// binOp is a width-preserving binary bitvector operator.
+type binOp struct {
+	name  string
+	build func(f *smt.Factory, x, y *smt.Term) *smt.Term
+	eval  func(a, b uint64, w int) uint64
+}
+
+var binOps = []binOp{
+	{"add", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.Add(x, y) },
+		func(a, b uint64, w int) uint64 { return (a + b) & cmask(w) }},
+	{"sub", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.Sub(x, y) },
+		func(a, b uint64, w int) uint64 { return (a - b) & cmask(w) }},
+	{"mul", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.Mul(x, y) },
+		func(a, b uint64, w int) uint64 { return (a * b) & cmask(w) }},
+	{"bvand", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.BVAnd(x, y) },
+		func(a, b uint64, w int) uint64 { return a & b }},
+	{"bvor", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.BVOr(x, y) },
+		func(a, b uint64, w int) uint64 { return a | b }},
+	{"bvxor", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.BVXor(x, y) },
+		func(a, b uint64, w int) uint64 { return a ^ b }},
+	{"shl", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.Shl(x, y) },
+		func(a, b uint64, w int) uint64 {
+			if b >= uint64(w) {
+				return 0
+			}
+			return (a << b) & cmask(w)
+		}},
+	{"lshr", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.Lshr(x, y) },
+		func(a, b uint64, w int) uint64 {
+			if b >= uint64(w) {
+				return 0
+			}
+			return a >> b
+		}},
+	{"ashr", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.Ashr(x, y) },
+		func(a, b uint64, w int) uint64 {
+			sh := b
+			if sh > uint64(w) {
+				sh = uint64(w)
+			}
+			return uint64(csigned(a, w)>>sh) & cmask(w)
+		}},
+}
+
+type unOp struct {
+	name  string
+	build func(f *smt.Factory, x *smt.Term) *smt.Term
+	eval  func(a uint64, w int) uint64
+}
+
+var unOps = []unOp{
+	{"neg", func(f *smt.Factory, x *smt.Term) *smt.Term { return f.Neg(x) },
+		func(a uint64, w int) uint64 { return (-a) & cmask(w) }},
+	{"bvnot", func(f *smt.Factory, x *smt.Term) *smt.Term { return f.BVNot(x) },
+		func(a uint64, w int) uint64 { return ^a & cmask(w) }},
+}
+
+type cmpOp struct {
+	name  string
+	build func(f *smt.Factory, x, y *smt.Term) *smt.Term
+	eval  func(a, b uint64, w int) bool
+}
+
+var cmpOps = []cmpOp{
+	{"eq", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.Eq(x, y) },
+		func(a, b uint64, w int) bool { return a == b }},
+	{"ult", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.Ult(x, y) },
+		func(a, b uint64, w int) bool { return a < b }},
+	{"ule", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.Ule(x, y) },
+		func(a, b uint64, w int) bool { return a <= b }},
+	{"slt", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.Slt(x, y) },
+		func(a, b uint64, w int) bool { return csigned(a, w) < csigned(b, w) }},
+	{"sle", func(f *smt.Factory, x, y *smt.Term) *smt.Term { return f.Sle(x, y) },
+		func(a, b uint64, w int) bool { return csigned(a, w) <= csigned(b, w) }},
+}
+
+// enumBits returns every known-bits state of width w (3^w values), with
+// the interval left at its reduced default.
+func enumBits(w int) []Value {
+	out := []Value{}
+	var rec func(i int, zeros, ones uint64)
+	rec = func(i int, zeros, ones uint64) {
+		if i == w {
+			out = append(out, MakeBV(w,
+				new(big.Int).SetUint64(zeros), new(big.Int).SetUint64(ones), nil, nil))
+			return
+		}
+		rec(i+1, zeros|1<<uint(i), ones)
+		rec(i+1, zeros, ones|1<<uint(i))
+		rec(i+1, zeros, ones)
+	}
+	rec(0, 0, 0)
+	return out
+}
+
+// enumIntervals returns every interval 0 ≤ lo ≤ hi < 2^w, with the bit
+// masks left at their reduced defaults.
+func enumIntervals(w int) []Value {
+	var out []Value
+	for lo := uint64(0); lo <= cmask(w); lo++ {
+		for hi := lo; hi <= cmask(w); hi++ {
+			out = append(out, MakeBV(w, nil, nil,
+				new(big.Int).SetUint64(lo), new(big.Int).SetUint64(hi)))
+		}
+	}
+	return out
+}
+
+// enumFull returns every non-empty known-bits × interval combination.
+func enumFull(w int) []Value {
+	var out []Value
+	var rec func(i int, zeros, ones uint64)
+	rec = func(i int, zeros, ones uint64) {
+		if i < w {
+			rec(i+1, zeros|1<<uint(i), ones)
+			rec(i+1, zeros, ones|1<<uint(i))
+			rec(i+1, zeros, ones)
+			return
+		}
+		for lo := uint64(0); lo <= cmask(w); lo++ {
+			for hi := lo; hi <= cmask(w); hi++ {
+				empty := true
+				for x := lo; x <= hi; x++ {
+					if x&zeros == 0 && x&ones == ones {
+						empty = false
+						break
+					}
+				}
+				if empty {
+					continue
+				}
+				out = append(out, MakeBV(w,
+					new(big.Int).SetUint64(zeros), new(big.Int).SetUint64(ones),
+					new(big.Int).SetUint64(lo), new(big.Int).SetUint64(hi)))
+			}
+		}
+	}
+	rec(0, 0, 0)
+	return out
+}
+
+// families returns the abstract-value families exercised at width w,
+// each paired with its precomputed concretization.
+type absVal struct {
+	v     Value
+	gamma []uint64
+}
+
+func families(w int) []absVal {
+	var vals []Value
+	if w <= 2 {
+		vals = enumFull(w)
+	} else {
+		vals = append(enumBits(w), enumIntervals(w)...)
+	}
+	out := make([]absVal, 0, len(vals))
+	for _, v := range vals {
+		var g []uint64
+		for x := uint64(0); x <= cmask(w); x++ {
+			if v.ContainsBV(new(big.Int).SetUint64(x)) {
+				g = append(g, x)
+			}
+		}
+		if len(g) == 0 {
+			panic("empty concretization escaped reduce")
+		}
+		out = append(out, absVal{v, g})
+	}
+	return out
+}
+
+// u64Checker extracts a Value's components once so the inner loops check
+// membership without big.Int allocation. Only valid for w ≤ 64.
+type u64Checker struct {
+	zeros, ones, lo, hi uint64
+}
+
+func mkChecker(v Value) u64Checker {
+	z, o := v.KnownBits()
+	lo, hi := v.Bounds()
+	return u64Checker{z.Uint64(), o.Uint64(), lo.Uint64(), hi.Uint64()}
+}
+
+func (c u64Checker) contains(x uint64) bool {
+	return x&c.zeros == 0 && x&c.ones == c.ones && c.lo <= x && x <= c.hi
+}
+
+// ofWith computes t's abstract value with the leaves preseeded: the test's
+// way of injecting arbitrary abstract inputs into the real transfer code.
+func ofWith(t *smt.Term, seed map[uint32]Value) Value {
+	a := NewAnalyzer()
+	for id, v := range seed {
+		a.memo[id] = v
+	}
+	return a.Of(t)
+}
+
+func TestTransferExhaustive(t *testing.T) {
+	f := smt.NewFactory()
+	for _, w := range []int{1, 2, 3, 4} {
+		fam := families(w)
+		x := f.BVVar(fmt.Sprintf("X%d", w), w)
+		y := f.BVVar(fmt.Sprintf("Y%d", w), w)
+
+		for _, op := range binOps {
+			tm := op.build(f, x, y)
+			for _, A := range fam {
+				for _, B := range fam {
+					out := ofWith(tm, map[uint32]Value{x.ID(): A.v, y.ID(): B.v})
+					ck := mkChecker(out)
+					for _, a := range A.gamma {
+						for _, b := range B.gamma {
+							if c := op.eval(a, b, w); !ck.contains(c) {
+								t.Fatalf("w=%d %s: %s op %s -> %s excludes %s(%d,%d)=%d",
+									w, op.name, A.v, B.v, out, op.name, a, b, c)
+							}
+						}
+					}
+				}
+			}
+		}
+
+		for _, op := range unOps {
+			tm := op.build(f, x)
+			for _, A := range fam {
+				out := ofWith(tm, map[uint32]Value{x.ID(): A.v})
+				ck := mkChecker(out)
+				for _, a := range A.gamma {
+					if c := op.eval(a, w); !ck.contains(c) {
+						t.Fatalf("w=%d %s: %s -> %s excludes %s(%d)=%d",
+							w, op.name, A.v, out, op.name, a, c)
+					}
+				}
+			}
+		}
+
+		for _, op := range cmpOps {
+			tm := op.build(f, x, y)
+			for _, A := range fam {
+				for _, B := range fam {
+					out := ofWith(tm, map[uint32]Value{x.ID(): A.v, y.ID(): B.v})
+					for _, a := range A.gamma {
+						for _, b := range B.gamma {
+							if c := op.eval(a, b, w); !out.ContainsBool(c) {
+								t.Fatalf("w=%d %s: %s op %s -> %s excludes %s(%d,%d)=%v",
+									w, op.name, A.v, B.v, out, op.name, a, b, c)
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// Ite over every three-valued condition.
+		c := f.BoolVar(fmt.Sprintf("C%d", w))
+		ite := f.Ite(c, x, y)
+		for _, cv := range []Value{ConstBool(true), ConstBool(false), TopBool()} {
+			for _, A := range fam {
+				for _, B := range fam {
+					out := ofWith(ite, map[uint32]Value{c.ID(): cv, x.ID(): A.v, y.ID(): B.v})
+					ck := mkChecker(out)
+					mayT, mayF := cv.MayBool()
+					if mayT {
+						for _, a := range A.gamma {
+							if !ck.contains(a) {
+								t.Fatalf("w=%d ite(true): %s/%s/%s -> %s excludes %d", w, cv, A.v, B.v, out, a)
+							}
+						}
+					}
+					if mayF {
+						for _, b := range B.gamma {
+							if !ck.contains(b) {
+								t.Fatalf("w=%d ite(false): %s/%s/%s -> %s excludes %d", w, cv, A.v, B.v, out, b)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransferExhaustiveWidthChanging covers the operators that change
+// width: extract (every hi:lo slice of every source width ≤ 4), concat
+// (every width split summing to ≤ 4), and the extensions.
+func TestTransferExhaustiveWidthChanging(t *testing.T) {
+	f := smt.NewFactory()
+
+	for ws := 1; ws <= 4; ws++ {
+		fam := families(ws)
+		x := f.BVVar(fmt.Sprintf("EX%d", ws), ws)
+		for hi := 0; hi < ws; hi++ {
+			for lo := 0; lo <= hi; lo++ {
+				tm := f.Extract(x, hi, lo)
+				for _, A := range fam {
+					out := ofWith(tm, map[uint32]Value{x.ID(): A.v})
+					ck := mkChecker(out)
+					for _, a := range A.gamma {
+						c := (a >> uint(lo)) & cmask(hi-lo+1)
+						if !ck.contains(c) {
+							t.Fatalf("extract[%d:%d] w=%d: %s -> %s excludes %d", hi, lo, ws, A.v, out, c)
+						}
+					}
+				}
+			}
+		}
+
+		for wt := ws + 1; wt <= 4; wt++ {
+			zx := f.ZExt(x, wt)
+			sx := f.SExt(x, wt)
+			for _, A := range fam {
+				seed := map[uint32]Value{x.ID(): A.v}
+				zo := ofWith(zx, seed)
+				zc := mkChecker(zo)
+				so := ofWith(sx, seed)
+				sc := mkChecker(so)
+				for _, a := range A.gamma {
+					if !zc.contains(a) {
+						t.Fatalf("zext %d->%d: %s -> %s excludes %d", ws, wt, A.v, zo, a)
+					}
+					se := uint64(csigned(a, ws)) & cmask(wt)
+					if !sc.contains(se) {
+						t.Fatalf("sext %d->%d: %s -> %s excludes %d", ws, wt, A.v, so, se)
+					}
+				}
+			}
+		}
+	}
+
+	for wa := 1; wa <= 3; wa++ {
+		for wb := 1; wa+wb <= 4; wb++ {
+			fa, fb := families(wa), families(wb)
+			x := f.BVVar(fmt.Sprintf("CA%d_%d", wa, wb), wa)
+			y := f.BVVar(fmt.Sprintf("CB%d_%d", wa, wb), wb)
+			tm := f.Concat(x, y)
+			for _, A := range fa {
+				for _, B := range fb {
+					out := ofWith(tm, map[uint32]Value{x.ID(): A.v, y.ID(): B.v})
+					ck := mkChecker(out)
+					for _, a := range A.gamma {
+						for _, b := range B.gamma {
+							c := a<<uint(wb) | b
+							if !ck.contains(c) {
+								t.Fatalf("concat %d+%d: %s ++ %s -> %s excludes %d", wa, wb, A.v, B.v, out, c)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransferExhaustiveBool covers the boolean connectives over every
+// three-valued input combination.
+func TestTransferExhaustiveBool(t *testing.T) {
+	f := smt.NewFactory()
+	p := f.BoolVar("P")
+	q := f.BoolVar("Q")
+	r := f.BoolVar("R")
+	tri := []Value{ConstBool(true), ConstBool(false), TopBool()}
+	gammaB := func(v Value) []bool {
+		var g []bool
+		mayT, mayF := v.MayBool()
+		if mayT {
+			g = append(g, true)
+		}
+		if mayF {
+			g = append(g, false)
+		}
+		return g
+	}
+	type boolOp struct {
+		name  string
+		term  *smt.Term
+		arity int
+		eval  func(a, b, c bool) bool
+	}
+	ops := []boolOp{
+		{"not", f.Not(p), 1, func(a, _, _ bool) bool { return !a }},
+		{"and", f.And(p, q), 2, func(a, b, _ bool) bool { return a && b }},
+		{"or", f.Or(p, q), 2, func(a, b, _ bool) bool { return a || b }},
+		{"xor", f.Xor(p, q), 2, func(a, b, _ bool) bool { return a != b }},
+		{"implies", f.Implies(p, q), 2, func(a, b, _ bool) bool { return !a || b }},
+		{"eq", f.Eq(p, q), 2, func(a, b, _ bool) bool { return a == b }},
+		{"ite", f.Ite(p, q, r), 3, func(a, b, c bool) bool {
+			if a {
+				return b
+			}
+			return c
+		}},
+		{"and3", f.And(p, q, r), 3, func(a, b, c bool) bool { return a && b && c }},
+		{"or3", f.Or(p, q, r), 3, func(a, b, c bool) bool { return a || b || c }},
+	}
+	for _, op := range ops {
+		for _, A := range tri {
+			for _, B := range tri {
+				for _, C := range tri {
+					out := ofWith(op.term, map[uint32]Value{p.ID(): A, q.ID(): B, r.ID(): C})
+					for _, a := range gammaB(A) {
+						for _, b := range gammaB(B) {
+							for _, c := range gammaB(C) {
+								if v := op.eval(a, b, c); !out.ContainsBool(v) {
+									t.Fatalf("%s: %s,%s,%s -> %s excludes %v", op.name, A, B, C, out, v)
+								}
+							}
+						}
+					}
+					if op.arity < 3 {
+						break
+					}
+				}
+				if op.arity < 2 {
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestConcreteOracle pins this file's uint64 operator semantics to the
+// real evaluator: every (op, a, b) at widths 1–3 must agree with smt.Eval
+// on a variable term under the corresponding environment.
+func TestConcreteOracle(t *testing.T) {
+	f := smt.NewFactory()
+	for _, w := range []int{1, 2, 3} {
+		x := f.BVVar(fmt.Sprintf("OX%d", w), w)
+		y := f.BVVar(fmt.Sprintf("OY%d", w), w)
+		env := make(smt.Env)
+		for a := uint64(0); a <= cmask(w); a++ {
+			for b := uint64(0); b <= cmask(w); b++ {
+				env.SetUint64(x.Name(), a)
+				env.SetUint64(y.Name(), b)
+				for _, op := range binOps {
+					got := smt.Eval(op.build(f, x, y), env).Uint64()
+					if want := op.eval(a, b, w); got != want {
+						t.Fatalf("oracle %s w=%d (%d,%d): eval=%d oracle=%d", op.name, w, a, b, got, want)
+					}
+				}
+				for _, op := range unOps {
+					got := smt.Eval(op.build(f, x), env).Uint64()
+					if want := op.eval(a, w); got != want {
+						t.Fatalf("oracle %s w=%d (%d): eval=%d oracle=%d", op.name, w, a, got, want)
+					}
+				}
+				for _, op := range cmpOps {
+					got := smt.EvalBool(op.build(f, x, y), env)
+					if want := op.eval(a, b, w); got != want {
+						t.Fatalf("oracle %s w=%d (%d,%d): eval=%v oracle=%v", op.name, w, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}

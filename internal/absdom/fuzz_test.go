@@ -1,0 +1,57 @@
+package absdom_test
+
+import (
+	"testing"
+
+	"bf4/internal/absdom"
+	"bf4/internal/smt"
+	"bf4/internal/smt/termgen"
+)
+
+// FuzzAbsdom is the differential soundness harness for the abstract
+// domain: termgen turns the fuzz input into a random well-sorted term DAG
+// plus a concrete assignment for every variable, and the concrete
+// evaluation must lie in the concretization of the abstract value —
+// Eval(t, env) ∈ γ(Of(t)) for every term and environment the fuzzer can
+// reach. Seeds live in testdata/fuzz/FuzzAbsdom; CI runs the target for a
+// fuzz-smoke interval on every push.
+func FuzzAbsdom(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 3, 1, 7, 9, 2, 0xff, 0x80, 5, 4, 1})
+	f.Add([]byte("absdom differential seed"))
+	f.Add([]byte{1, 9, 2, 13, 0, 0xf0, 0x0f, 6, 6, 6, 0x55, 0xaa, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fac := smt.NewFactory()
+		g := termgen.New(fac, data)
+		tm := g.Term()
+		env := g.Env()
+		got := smt.Eval(tm, env)
+		v := absdom.NewAnalyzer().Of(tm)
+		if !v.Contains(got) {
+			t.Fatalf("unsound abstraction: Eval=%v not in %s for term\n%s", got, v, tm)
+		}
+	})
+}
+
+// FuzzAbsdomShared re-analyzes two terms drawn from one generator with a
+// single Analyzer, so the memo built for the first is reused by the
+// second (they share variables and often subterms). The memoized path
+// must be just as sound as the fresh one.
+func FuzzAbsdomShared(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte("shared-memo seed: two terms, one analyzer"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fac := smt.NewFactory()
+		g := termgen.New(fac, data)
+		t1 := g.Term()
+		t2 := g.Term()
+		env := g.Env()
+		a := absdom.NewAnalyzer()
+		for _, tm := range []*smt.Term{t1, t2} {
+			got := smt.Eval(tm, env)
+			if v := a.Of(tm); !v.Contains(got) {
+				t.Fatalf("unsound memoized abstraction: Eval=%v not in %s for term\n%s", got, v, tm)
+			}
+		}
+	})
+}

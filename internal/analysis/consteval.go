@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"bf4/internal/absdom"
 	"bf4/internal/smt"
 )
 
@@ -61,22 +62,44 @@ func isLiteral(t *smt.Term) bool {
 // smt.Eval, which resolves them to zero — which is what makes this a
 // sound abstract evaluation.
 func evalUnder(f *smt.Factory, t *smt.Term, e env) *smt.Term {
-	if len(e) == 0 {
-		return t
-	}
-	var subst map[*smt.Term]*smt.Term
-	for _, v := range t.Vars(nil) {
-		if c, ok := e[v.Name()]; ok {
-			if subst == nil {
-				subst = make(map[*smt.Term]*smt.Term)
+	if len(e) != 0 {
+		var subst map[*smt.Term]*smt.Term
+		for _, v := range t.Vars(nil) {
+			if c, ok := e[v.Name()]; ok {
+				if subst == nil {
+					subst = make(map[*smt.Term]*smt.Term)
+				}
+				subst[v] = c
 			}
-			subst[v] = c
+		}
+		if subst != nil {
+			t = smt.Substitute(f, t, subst)
 		}
 	}
-	if subst == nil {
+	return absFold(f, t)
+}
+
+// absFold strengthens the syntactic fold with the known-bits + interval
+// abstract domain: a term the factory's local rules leave symbolic can
+// still be decided by value analysis (e.g. (x & 0xF0) < 0x100 is true for
+// every x). Only whole-term folds are taken — partial rewriting belongs
+// to internal/smt/rewrite, which the analyses must not depend on for
+// their verdicts.
+func absFold(f *smt.Factory, t *smt.Term) *smt.Term {
+	if isLiteral(t) {
 		return t
 	}
-	return smt.Substitute(f, t, subst)
+	v := absdom.NewAnalyzer().Of(t)
+	if t.Sort().IsBool() {
+		if b, ok := v.Decided(); ok {
+			return f.Bool(b)
+		}
+		return t
+	}
+	if x, ok := v.Singleton(); ok {
+		return f.BVConst(x, t.Sort().Width)
+	}
+	return t
 }
 
 // refine strengthens e with the knowledge that cond evaluates to holds on

@@ -105,9 +105,12 @@ type Bug struct {
 	Model smt.Env
 	// Cond is the bug's reachability condition.
 	Cond *smt.Term
-	// Discharged marks a bug whose solver query the static-analysis
-	// pre-pass skipped: the abstract interpretation proved the bug node
-	// unreachable, so the query is unsatisfiable by construction.
+	// Discharged marks a bug whose solver query a static layer skipped:
+	// either the dataflow pre-pass (internal/analysis) proved the bug
+	// node unreachable, or the term-level rewrite engine
+	// (internal/smt/rewrite) folded the reachability condition to false.
+	// Both guarantee the query is unsatisfiable, so the bug is reported
+	// exactly as an unsat answer would leave it.
 	Discharged bool
 }
 
@@ -130,6 +133,15 @@ type Report struct {
 	Bugs      []*Bug
 	SolveTime time.Duration
 	Checks    int
+	// FoldDischarged counts bug conditions the term-level rewrite engine
+	// folded to false — solver queries skipped beyond the dataflow
+	// pre-pass's discharge set.
+	FoldDischarged int
+	// CNFVars/CNFClauses snapshot the blasted circuit size at the end of
+	// bug finding, before the inference phase reuses the solver — the
+	// "CNF before vs after rewriting" number the experiments layer
+	// compares across -rewrite=on/off.
+	CNFVars, CNFClauses int
 	// S is the incremental solver used for the reachability checks; the
 	// inference phase reuses it (all bug conditions are already blasted)
 	// for its predicate rechecks.
@@ -200,6 +212,16 @@ func (pl *Pipeline) FindBugsSkipping(skip map[*ir.Node]bool) *Report {
 			rep.Bugs = append(rep.Bugs, b)
 			continue
 		}
+		// Term-level pre-discharge: if the solver's rewrite pass folds
+		// the condition to false, the query is unsatisfiable by
+		// construction — report the bug exactly as an unsat check would
+		// (Reachable false, no model), like the dataflow discharge path.
+		if s.Simplify(cond).IsFalse() {
+			b.Discharged = true
+			rep.FoldDischarged++
+			rep.Bugs = append(rep.Bugs, b)
+			continue
+		}
 		res := s.Check(cond)
 		rep.Checks++
 		if res == solver.Sat {
@@ -208,6 +230,7 @@ func (pl *Pipeline) FindBugsSkipping(skip map[*ir.Node]bool) *Report {
 		}
 		rep.Bugs = append(rep.Bugs, b)
 	}
+	rep.CNFVars, rep.CNFClauses, _, _ = s.Stats()
 	rep.SolveTime = time.Since(start)
 	return rep
 }

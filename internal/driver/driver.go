@@ -20,6 +20,7 @@ import (
 	"bf4/internal/p4/ast"
 	"bf4/internal/p4/parser"
 	"bf4/internal/p4/types"
+	"bf4/internal/smt/rewrite"
 )
 
 // Config selects pipeline options for a run.
@@ -34,6 +35,13 @@ type Config struct {
 	// a pure optimization for the verification verdict (opt out with
 	// -analysis=off to cross-check).
 	Analysis bool
+	// Rewrite enables the term-level rewrite engine (internal/smt/rewrite):
+	// every solver created for this run simplifies formulas through the
+	// known-bits + interval abstract domain before bit-blasting, and bug
+	// conditions that fold to false are discharged without a solver query.
+	// Evaluation-preserving, so verdicts are identical either way (opt out
+	// with -rewrite=off to cross-check).
+	Rewrite bool
 	// Workers bounds the per-instance inference fan-out (cmd/bf4's -j);
 	// <= 0 means GOMAXPROCS. It overrides Infer.Workers when set. The
 	// results are identical for every value — only wall-clock changes.
@@ -42,7 +50,7 @@ type Config struct {
 
 // DefaultConfig matches the paper's configuration.
 func DefaultConfig() Config {
-	return Config{IR: ir.DefaultOptions(), Infer: infer.DefaultOptions(), Slicing: true, Analysis: true}
+	return Config{IR: ir.DefaultOptions(), Infer: infer.DefaultOptions(), Slicing: true, Analysis: true, Rewrite: true}
 }
 
 // Result is one full bf4 run over a program (one Table 1 row).
@@ -94,6 +102,13 @@ func Run(name, src string, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Rewrite {
+		// Install the rewrite pass on this run's factory so every solver
+		// built over it (bug finding, inference, fix rechecks) picks up a
+		// private simplifier. The setting travels with the factory, so
+		// concurrent runs with different configs stay isolated.
+		pl.IR.F.SetSimplifyProvider(rewrite.Provider(pl.IR.F))
+	}
 	res.Initial = pl
 	findBugs := func(pl *core.Pipeline) (*core.Report, *analysis.Result) {
 		if !cfg.Analysis {
@@ -139,6 +154,10 @@ func Run(name, src string, cfg Config) (*Result, error) {
 		pl2, err := core.Compile(src, opts2, cfg.Slicing)
 		if err != nil {
 			return nil, fmt.Errorf("rebuild with fixes: %w", err)
+		}
+		if cfg.Rewrite {
+			// The rebuild creates a fresh factory; re-install the pass.
+			pl2.IR.F.SetSimplifyProvider(rewrite.Provider(pl2.IR.F))
 		}
 		res.Fixed = pl2
 		rep2, _ := findBugs(pl2)

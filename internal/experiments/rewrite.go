@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bf4/internal/driver"
+	"bf4/internal/pool"
+	"bf4/internal/progs"
+)
+
+// RewriteRow compares one corpus program verified with the term-level
+// rewrite engine on vs off. The rewrite pass is evaluation-preserving, so
+// the two runs must agree on every verdict; what changes is the size of
+// the blasted CNF and the number of solver queries (conditions that fold
+// to false are discharged without one).
+type RewriteRow struct {
+	Program string `json:"program"`
+	// QueriesOn/QueriesOff count initial-report solver Checks.
+	QueriesOn  int `json:"queries_on"`
+	QueriesOff int `json:"queries_off"`
+	// FoldDischarged counts bug conditions the rewriter folded to false
+	// (skipped queries beyond the dataflow pre-pass's discharge set).
+	FoldDischarged int `json:"fold_discharged"`
+	// VarsOn/ClausesOn are the CNF size of the initial bug-finding solver
+	// with rewriting on; VarsOff/ClausesOff with it off. Rewriting shrinks
+	// the circuit, never the other way around.
+	VarsOn     int `json:"cnf_vars_on"`
+	VarsOff    int `json:"cnf_vars_off"`
+	ClausesOn  int `json:"cnf_clauses_on"`
+	ClausesOff int `json:"cnf_clauses_off"`
+	// SolveOnMS/SolveOffMS are the initial bug-finding solve times.
+	SolveOnMS  float64 `json:"solve_on_ms"`
+	SolveOffMS float64 `json:"solve_off_ms"`
+	// Identical reports whether the two runs produced byte-identical
+	// verification verdicts and inferred annotations (bug counts, per-bug
+	// verdicts, fixes, and the rendered controller spec). The rewrite
+	// engine is only sound if this is true for every program.
+	Identical bool `json:"identical"`
+}
+
+// RewriteAblation runs every corpus program twice — term-level rewriting
+// on and off — and reports per-program CNF-size and solve-time deltas plus
+// verdict identity. Both arms run with the dataflow pre-pass
+// (Config.Analysis) off: the pre-pass discharges many of the same
+// impossible checks at the CFG level, and turning it off isolates what the
+// term-level engine contributes on its own. Production runs keep both on —
+// the layers are complementary (the rewriter also serves Infer's queries,
+// which the pre-pass never sees).
+func RewriteAblation(switchScale, workers int) ([]RewriteRow, error) {
+	type job struct{ name, src string }
+	var jobs []job
+	for _, p := range progs.All() {
+		src := p.Source
+		if p.Name == "switch" {
+			if switchScale == 0 {
+				continue
+			}
+			src = progs.GenerateSwitch(switchScale)
+		}
+		jobs = append(jobs, job{p.Name, src})
+	}
+	rows, err := pool.MapErr(workers, len(jobs), func(i int) (RewriteRow, error) {
+		name, src := jobs[i].name, jobs[i].src
+
+		on := driver.DefaultConfig()
+		on.Analysis = false
+		on.Rewrite = true
+		resOn, err := driver.Run(name, src, on)
+		if err != nil {
+			return RewriteRow{}, fmt.Errorf("%s (rewrite on): %w", name, err)
+		}
+		off := driver.DefaultConfig()
+		off.Analysis = false
+		off.Rewrite = false
+		resOff, err := driver.Run(name, src, off)
+		if err != nil {
+			return RewriteRow{}, fmt.Errorf("%s (rewrite off): %w", name, err)
+		}
+
+		vOn, cOn := resOn.InitialRep.CNFVars, resOn.InitialRep.CNFClauses
+		vOff, cOff := resOff.InitialRep.CNFVars, resOff.InitialRep.CNFClauses
+		return RewriteRow{
+			Program:        name,
+			QueriesOn:      resOn.InitialRep.Checks,
+			QueriesOff:     resOff.InitialRep.Checks,
+			FoldDischarged: resOn.InitialRep.FoldDischarged,
+			VarsOn:         vOn,
+			VarsOff:        vOff,
+			ClausesOn:      cOn,
+			ClausesOff:     cOff,
+			SolveOnMS:      float64(resOn.InitialRep.SolveTime) / float64(time.Millisecond),
+			SolveOffMS:     float64(resOff.InitialRep.SolveTime) / float64(time.Millisecond),
+			Identical:      verdictFingerprint(resOn) == verdictFingerprint(resOff),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Program < rows[j].Program })
+	return rows, nil
+}
+
+// RenderRewrite prints the ablation with timings.
+func RenderRewrite(rows []RewriteRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %9s %6s %9s %10s %10s %11s %9s %10s %9s\n",
+		"Program", "queries", "queries0", "folded", "vars", "vars0", "clauses", "clauses0", "solve", "solve0", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %8d %9d %6d %9d %10d %10d %11d %8.0fms %9.0fms %9v\n",
+			r.Program, r.QueriesOn, r.QueriesOff, r.FoldDischarged,
+			r.VarsOn, r.VarsOff, r.ClausesOn, r.ClausesOff,
+			r.SolveOnMS, r.SolveOffMS, r.Identical)
+	}
+	return b.String()
+}
+
+// RenderRewriteStable prints the ablation without timing columns; every
+// remaining field is deterministic, so CI can diff the output.
+func RenderRewriteStable(rows []RewriteRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %9s %6s %9s %10s %10s %11s %9s\n",
+		"Program", "queries", "queries0", "folded", "vars", "vars0", "clauses", "clauses0", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %8d %9d %6d %9d %10d %10d %11d %9v\n",
+			r.Program, r.QueriesOn, r.QueriesOff, r.FoldDischarged,
+			r.VarsOn, r.VarsOff, r.ClausesOn, r.ClausesOff, r.Identical)
+	}
+	return b.String()
+}
+
+// RewriteJSON marshals the ablation for BENCH_rewrite.json.
+func RewriteJSON(rows []RewriteRow) ([]byte, error) {
+	reduced := 0
+	identical := true
+	for _, r := range rows {
+		if r.ClausesOn < r.ClausesOff {
+			reduced++
+		}
+		identical = identical && r.Identical
+	}
+	return json.MarshalIndent(struct {
+		Bench        string       `json:"bench"`
+		Programs     int          `json:"programs"`
+		ReducedCNF   int          `json:"reduced_cnf"`
+		AllIdentical bool         `json:"all_identical"`
+		Rows         []RewriteRow `json:"rows"`
+	}{"rewrite", len(rows), reduced, identical, rows}, "", "  ")
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+// TestRewritePureOptimization re-verifies the corpus (switch skipped;
+// the rewrite-ablation CI job covers it at scale) with the term-level
+// rewrite engine on vs off: verdicts must match byte-for-byte, the
+// rewriter must never enlarge the on-arm's query count, at least one
+// condition must fold-discharge somewhere, and the blasted CNF must
+// shrink on at least half the programs — the two halves of the
+// acceptance contract (sound, and worth having).
+func TestRewritePureOptimization(t *testing.T) {
+	rows, err := RewriteAblation(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalFolded, reduced := 0, 0
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s: verdicts differ between -rewrite=on and off", r.Program)
+		}
+		if r.QueriesOn > r.QueriesOff {
+			t.Errorf("%s: rewriting increased query count %d -> %d", r.Program, r.QueriesOff, r.QueriesOn)
+		}
+		if r.QueriesOff-r.QueriesOn != r.FoldDischarged {
+			t.Errorf("%s: %d queries skipped but %d conditions fold-discharged",
+				r.Program, r.QueriesOff-r.QueriesOn, r.FoldDischarged)
+		}
+		totalFolded += r.FoldDischarged
+		if r.ClausesOn < r.ClausesOff || r.VarsOn < r.VarsOff {
+			reduced++
+		}
+	}
+	if totalFolded == 0 {
+		t.Error("no condition fold-discharged across the corpus")
+	}
+	if reduced*2 < len(rows) {
+		t.Errorf("CNF shrank on only %d of %d programs", reduced, len(rows))
+	}
+}

@@ -177,6 +177,12 @@ func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 		outs := pool.Map(workers, len(insts), func(i int) inferOut {
 			inst := insts[i]
 			dual := solver.New(f)
+			// Model-enumeration solvers run without the term-level
+			// rewrite pass: rewriting is verdict-preserving but not
+			// model-preserving, and Infer's cubes are built from models
+			// and unsat cores, so keeping the circuit fixed is what makes
+			// the inferred annotations identical under -rewrite=on/off.
+			dual.SetRewrite(nil)
 			dual.Assert(ok)
 			var out inferOut
 			out.a = inferShared(pl, dual, inst, byInstance[inst], opts, &out.calls)
@@ -366,6 +372,7 @@ func Infer(pl *core.Pipeline, inst *ir.TableInstance, bugs []*core.Bug, opts Opt
 		ok = f.And(ok, f.Not(pl.FullReach.DontCareReach))
 	}
 	dual := solver.New(f)
+	dual.SetRewrite(nil) // model enumeration must be rewrite-independent
 	dual.Assert(ok)
 	return inferShared(pl, dual, inst, bugs, opts, calls)
 }
@@ -395,6 +402,7 @@ func inferShared(pl *core.Pipeline, dual *solver.Solver, inst *ir.TableInstance,
 	}
 
 	direct := solver.New(f)
+	direct.SetRewrite(nil) // model enumeration must be rewrite-independent
 	direct.Assert(bug)
 
 	atomSet := map[*smt.Term]bool{}

@@ -208,7 +208,7 @@ func Substitute(f *Factory, t *Term, subst map[*Term]*Term) *Term {
 		}
 		out := u
 		if changed {
-			out = f.rebuild(u, args)
+			out = f.Rebuild(u, args)
 		}
 		cache[u] = out
 		return out
@@ -216,9 +216,11 @@ func Substitute(f *Factory, t *Term, subst map[*Term]*Term) *Term {
 	return walk(t)
 }
 
-// rebuild reconstructs a term like u but with new arguments, going through
-// the simplifying constructors.
-func (f *Factory) rebuild(u *Term, args []*Term) *Term {
+// Rebuild reconstructs a term like u but with new arguments, going
+// through the simplifying constructors — the primitive substitution and
+// rewrite passes are built on. args must match u's argument count and
+// sorts.
+func (f *Factory) Rebuild(u *Term, args []*Term) *Term {
 	switch u.op {
 	case OpNot:
 		return f.Not(args[0])

@@ -190,15 +190,31 @@ func (t *Term) write(b *strings.Builder, seen map[*Term]bool, depth int) {
 }
 
 // Vars appends to dst all distinct variables occurring in t and returns
-// the extended slice.
+// the extended slice. Variables already present in dst are not appended
+// again, so the slice stays duplicate-free when accumulating over many
+// terms. Callers that accumulate across a large shared DAG should prefer
+// VarsSeen with a persistent seen-set: it skips whole subgraphs visited
+// by earlier calls instead of re-walking them.
 func (t *Term) Vars(dst []*Term) []*Term {
-	seen := map[*Term]bool{}
+	seen := make(map[uint32]bool, 64)
+	for _, v := range dst {
+		seen[v.id] = true
+	}
+	return t.VarsSeen(dst, seen)
+}
+
+// VarsSeen is Vars with a caller-owned seen-set keyed by Term.ID(). Every
+// visited node is recorded in seen, so repeated calls over terms sharing
+// DAG structure walk each distinct node exactly once in total — without
+// it, N asserts over one shared formula walk the DAG N times (a quadratic
+// blowup on wide conditions; see BenchmarkVarsAccumulate).
+func (t *Term) VarsSeen(dst []*Term, seen map[uint32]bool) []*Term {
 	var walk func(*Term)
 	walk = func(u *Term) {
-		if seen[u] {
+		if seen[u.id] {
 			return
 		}
-		seen[u] = true
+		seen[u.id] = true
 		if u.op == OpVar {
 			dst = append(dst, u)
 			return
@@ -260,6 +276,12 @@ type Factory struct {
 	nextID uint32
 	true_  *Term
 	false_ *Term
+
+	// simplify optionally provides evaluation-preserving term rewriters
+	// (internal/smt/rewrite installs one via the driver). Each consumer —
+	// typically a solver instance — obtains its own rewriter so per-
+	// rewriter memo tables need no locking.
+	simplify func() func(*Term) *Term
 }
 
 // NewFactory returns an empty term factory with interned true/false.
@@ -268,6 +290,32 @@ func NewFactory() *Factory {
 	f.true_ = f.intern(&Term{op: OpTrue, sort: BoolSort})
 	f.false_ = f.intern(&Term{op: OpFalse, sort: BoolSort})
 	return f
+}
+
+// SetSimplifyProvider installs (or, with nil, removes) a provider of
+// evaluation-preserving rewrite passes for terms of this factory. Every
+// rewriter returned by the provider must satisfy: for all terms t and
+// environments env, Eval(rewrite(t), env) == Eval(t, env). Consumers that
+// want pre-solve simplification (internal/solver) call NewSimplifier.
+// Installing the provider is the driver's way of turning -rewrite on for
+// one run without global state: the setting travels with the factory.
+func (f *Factory) SetSimplifyProvider(p func() func(*Term) *Term) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.simplify = p
+}
+
+// NewSimplifier returns a fresh rewrite pass from the installed provider,
+// or nil when none is installed. Each returned rewriter is independent
+// (own memo), so callers may use theirs without synchronization.
+func (f *Factory) NewSimplifier() func(*Term) *Term {
+	f.mu.Lock()
+	p := f.simplify
+	f.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p()
 }
 
 // NumTerms returns the number of distinct terms created so far, a proxy

@@ -1,0 +1,98 @@
+package smt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// wideSharedDAG builds n conditions that all reference one wide shared
+// subformula over nvars variables — the shape solver.Assert sees when
+// many bug conditions share a program's path prefix.
+func wideSharedDAG(f *Factory, nvars, n int) []*Term {
+	shared := f.True()
+	for i := 0; i < nvars; i++ {
+		v := f.BVVar(fmt.Sprintf("v%d", i), 32)
+		shared = f.And(shared, f.Eq(v, f.BVConst64(int64(i), 32)))
+	}
+	conds := make([]*Term, n)
+	for i := 0; i < n; i++ {
+		conds[i] = f.And(shared, f.BoolVar(fmt.Sprintf("c%d", i)))
+	}
+	return conds
+}
+
+func TestVarsDedup(t *testing.T) {
+	f := NewFactory()
+	x := f.BVVar("x", 8)
+	y := f.BVVar("y", 8)
+	// x occurs three times in the DAG; it must appear once in the result.
+	tm := f.And(f.Eq(x, y), f.Ult(x, f.BVConst64(3, 8)), f.Eq(f.Add(x, y), f.BVConst64(0, 8)))
+	vars := tm.Vars(nil)
+	counts := map[*Term]int{}
+	for _, v := range vars {
+		counts[v]++
+	}
+	if counts[x] != 1 || counts[y] != 1 || len(vars) != 2 {
+		t.Fatalf("want {x:1 y:1}, got %v (len %d)", counts, len(vars))
+	}
+
+	// Accumulating: variables already in dst must not be re-appended.
+	vars2 := f.Eq(x, f.BVConst64(1, 8)).Vars(vars)
+	if len(vars2) != 2 {
+		t.Fatalf("accumulating Vars duplicated an existing entry: %v", vars2)
+	}
+
+	// And with a persistent seen-set across calls.
+	seen := make(map[uint32]bool)
+	var acc []*Term
+	for _, c := range wideSharedDAG(f, 8, 4) {
+		acc = c.VarsSeen(acc, seen)
+	}
+	counts = map[*Term]int{}
+	for _, v := range acc {
+		counts[v]++
+	}
+	for v, n := range counts {
+		if n != 1 {
+			t.Fatalf("VarsSeen appended %s %d times", v, n)
+		}
+	}
+	if len(acc) != 8+4 {
+		t.Fatalf("want 12 distinct vars, got %d", len(acc))
+	}
+}
+
+// BenchmarkVarsAccumulate contrasts the two accumulation idioms over N
+// conditions sharing one wide DAG. Vars re-walks the full shared
+// subgraph per condition (quadratic in total), while VarsSeen with a
+// persistent seen-set visits every distinct node once — the reason
+// solver.Assert keeps a per-solver seen map.
+func BenchmarkVarsAccumulate(b *testing.B) {
+	const nvars, nconds = 200, 100
+	f := NewFactory()
+	conds := wideSharedDAG(f, nvars, nconds)
+
+	b.Run("Vars", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var acc []*Term
+			for _, c := range conds {
+				acc = c.Vars(acc)
+			}
+			if len(acc) != nvars+nconds {
+				b.Fatal("bad var count")
+			}
+		}
+	})
+	b.Run("VarsSeen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var acc []*Term
+			seen := make(map[uint32]bool, 4*nvars)
+			for _, c := range conds {
+				acc = c.VarsSeen(acc, seen)
+			}
+			if len(acc) != nvars+nconds {
+				b.Fatal("bad var count")
+			}
+		}
+	})
+}

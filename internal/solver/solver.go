@@ -34,6 +34,19 @@ type Solver struct {
 	ctx  *bitblast.Context
 	vars map[*smt.Term]bool // variables seen so far, for model extraction
 
+	// varSeen records every DAG node registerVars has walked (keyed by
+	// Term.ID()), so repeated asserts over shared structure cost one walk
+	// of each distinct node in total instead of re-walking the whole DAG
+	// per call.
+	varSeen map[uint32]bool
+
+	// rewrite, when non-nil, simplifies every formula after variable
+	// registration and before bit-blasting (smaller CNF). It must be
+	// evaluation-preserving; models and unsat cores are reported in terms
+	// of the original formulas. Installed from the factory's simplify
+	// provider, or explicitly with SetRewrite.
+	rewrite func(*smt.Term) *smt.Term
+
 	lastCore []*smt.Term
 	checks   int
 
@@ -44,15 +57,35 @@ type Solver struct {
 	scopeSeq int
 }
 
-// New returns an empty solver over the given term factory.
+// New returns an empty solver over the given term factory. If the
+// factory has a simplify provider installed (see
+// smt.Factory.SetSimplifyProvider), the solver gets a private rewrite
+// pass from it.
 func New(f *smt.Factory) *Solver {
 	s := sat.New()
 	return &Solver{
-		f:    f,
-		sat:  s,
-		ctx:  bitblast.New(f, s),
-		vars: make(map[*smt.Term]bool),
+		f:       f,
+		sat:     s,
+		ctx:     bitblast.New(f, s),
+		vars:    make(map[*smt.Term]bool),
+		varSeen: make(map[uint32]bool),
+		rewrite: f.NewSimplifier(),
 	}
+}
+
+// SetRewrite installs (or with nil removes) the pre-blast simplification
+// pass, overriding whatever New picked up from the factory. The pass must
+// preserve evaluation under every environment.
+func (s *Solver) SetRewrite(fn func(*smt.Term) *smt.Term) { s.rewrite = fn }
+
+// Simplify applies the solver's rewrite pass to t (identity when no pass
+// is installed). Callers can use it to pre-discharge queries: a formula
+// that simplifies to false is unsatisfiable without a Check.
+func (s *Solver) Simplify(t *smt.Term) *smt.Term {
+	if s.rewrite == nil {
+		return t
+	}
+	return s.rewrite(t)
 }
 
 // Factory returns the term factory this solver builds on.
@@ -67,7 +100,7 @@ func (s *Solver) NumChecks() int { return s.checks }
 func (s *Solver) SetConflictBudget(n int64) { s.sat.Budget.Conflicts = n }
 
 func (s *Solver) registerVars(t *smt.Term) {
-	for _, v := range t.Vars(nil) {
+	for _, v := range t.VarsSeen(nil, s.varSeen) {
 		if s.vars[v] {
 			continue
 		}
@@ -91,8 +124,25 @@ func (s *Solver) Assert(t *smt.Term) {
 		// guarding with one literal is enough.
 		t = s.f.Implies(s.scopes[n-1], t)
 	}
-	s.registerVars(t)
-	s.ctx.AssertTrue(t)
+	// Variables are collected from the SIMPLIFIED formula: a variable the
+	// rewrite erased is unconstrained, so leaving its bits unallocated
+	// keeps the CNF smaller without losing models — the rewrite preserves
+	// evaluation under every total environment, and absent variables
+	// default to zero under the smt.Eval convention, so a model of the
+	// simplified formula zero-extends to one of the original.
+	rt := s.Simplify(t)
+	s.registerVars(rt)
+	// With the simplification layer on and no activation literal in
+	// play, a top-level conjunction splits into one unit assertion per
+	// conjunct — the standard assert-time flattening that skips the
+	// Tseitin gate for the conjunction itself.
+	if s.rewrite != nil && len(s.scopes) == 0 && rt.Op() == smt.OpAnd {
+		for _, a := range rt.Args() {
+			s.ctx.AssertTrue(a)
+		}
+		return
+	}
+	s.ctx.AssertTrue(rt)
 }
 
 // Push opens a retractable assertion scope, emulated with an activation
@@ -140,8 +190,17 @@ func (s *Solver) Check(assumptions ...*smt.Term) Result {
 		if a.IsTrue() {
 			continue
 		}
-		s.registerVars(a)
-		l := s.ctx.Literal(a)
+		// Blast the simplified form (smaller circuit) but keep the core
+		// map keyed to the caller's original assumption. A rewrite to
+		// true means the assumption is a tautology and cannot appear in
+		// any unsat core; a rewrite to false blasts to the false literal
+		// and surfaces in the core as the original formula.
+		ra := s.Simplify(a)
+		if ra.IsTrue() {
+			continue
+		}
+		s.registerVars(ra)
+		l := s.ctx.Literal(ra)
 		if _, dup := byLit[l]; !dup {
 			byLit[l] = a
 			lits = append(lits, l)
