@@ -35,6 +35,7 @@ func main() {
 		jobs        = flag.Int("j", 0, "worker pool size for parallel experiments (0 = GOMAXPROCS, 1 = serial)")
 		stable      = flag.Bool("stable", false, "render table1 without the runtime column (byte-stable across -j values and machines)")
 		jsonOut     = flag.Bool("json", false, "additionally write machine-readable results (rewrite: BENCH_rewrite.json)")
+		metrics     = flag.Bool("metrics", false, "table1: append a per-program metrics table (deterministic solver/pipeline counters); the table1 section itself is unchanged")
 	)
 	flag.Parse()
 
@@ -55,7 +56,16 @@ func main() {
 	}
 
 	dispatch("table1", func() error {
-		rows, err := experiments.Table1(*switchScale, *jobs)
+		var (
+			rows []experiments.Table1Row
+			ms   []experiments.Table1Metrics
+			err  error
+		)
+		if *metrics {
+			rows, ms, err = experiments.Table1WithMetrics(*switchScale, *jobs)
+		} else {
+			rows, err = experiments.Table1(*switchScale, *jobs)
+		}
 		if err != nil {
 			return err
 		}
@@ -63,6 +73,10 @@ func main() {
 			fmt.Print(experiments.RenderTable1Stable(rows))
 		} else {
 			fmt.Print(experiments.RenderTable1(rows))
+		}
+		if *metrics {
+			fmt.Println("metrics:")
+			fmt.Print(experiments.RenderTable1Metrics(ms))
 		}
 		return nil
 	})

@@ -15,6 +15,11 @@
 // from the snapshot + journal without any controller replay. SIGINT and
 // SIGTERM trigger a graceful shutdown: in-flight requests drain, a final
 // checkpoint compacts the journal, then the process exits.
+//
+// With -obs-addr the shim serves observability over HTTP on a second,
+// private listener: Prometheus text metrics at /metrics, the same
+// document as JSON at /metrics.json, and net/http/pprof profiling under
+// /debug/pprof/.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +35,7 @@ import (
 
 	"bf4/internal/driver"
 	"bf4/internal/ir"
+	"bf4/internal/obs"
 	"bf4/internal/p4runtime"
 	"bf4/internal/progs"
 	"bf4/internal/shim"
@@ -49,6 +56,7 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
 		maxFrame     = flag.Int("max-frame", 1<<20, "max request frame size in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+		obsAddr      = flag.String("obs-addr", "", "serve Prometheus /metrics, /metrics.json and /debug/pprof on this address (e.g. 127.0.0.1:9560; empty disables)")
 	)
 	flag.Parse()
 
@@ -124,6 +132,11 @@ func main() {
 		}
 		fmt.Printf("bf4-shim: shadow state restored from %s\n", *stateDir)
 	}
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		sh.SetObs(reg)
+	}
 	srv := &p4runtime.Server{
 		Shim:          sh,
 		Prog:          prog,
@@ -131,10 +144,23 @@ func main() {
 		WriteTimeout:  *writeTimeout,
 		MaxFrameBytes: *maxFrame,
 		MaxConns:      *maxConns,
+		Obs:           reg,
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *obsAddr != "" {
+		oln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fatalf("obs listen: %v", err)
+		}
+		fmt.Printf("bf4-shim: metrics and pprof on http://%s\n", oln.Addr())
+		go func() {
+			if err := http.Serve(oln, obs.NewMux(reg)); err != nil {
+				fmt.Fprintf(os.Stderr, "bf4-shim: obs server: %v\n", err)
+			}
+		}()
 	}
 	fmt.Printf("bf4-shim: %d assertions over %d tables; listening on %s\n",
 		len(file.Assertions), len(file.Tables), ln.Addr())

@@ -19,6 +19,10 @@
 //	-no-multitable     disable the multi-table heuristic
 //	-j N               inference worker pool size (0 = GOMAXPROCS);
 //	                   output is identical for every value
+//	-metrics-json f    write run metrics (counters, gauges, histograms)
+//	                   as JSON to f ("-" for stdout)
+//	-trace-out f       write the hierarchical phase-timing tree to f
+//	                   ("-" for stdout)
 //	-v                 verbose: list every bug with its verdict
 package main
 
@@ -30,6 +34,7 @@ import (
 	"bf4/internal/analysis"
 	"bf4/internal/driver"
 	"bf4/internal/ir"
+	"bf4/internal/obs"
 	"bf4/internal/p4/parser"
 	"bf4/internal/p4/types"
 	"bf4/internal/progs"
@@ -56,6 +61,8 @@ func main() {
 		jobs         = flag.Int("j", 0, "inference worker pool size (0 = GOMAXPROCS; results identical for every value)")
 		analysisMode = flag.String("analysis", "on", "static-analysis pre-pass: on discharges statically-safe checks before the solver, off runs every query (verdicts are identical either way)")
 		rewriteMode  = flag.String("rewrite", "on", "term-level rewrite engine: on simplifies formulas through the known-bits + interval domain before bit-blasting, off blasts them as built (verdicts are identical either way)")
+		metricsOut   = flag.String("metrics-json", "", "write run metrics as JSON to this file (\"-\" for stdout; verdicts are identical with metrics on or off)")
+		traceOut     = flag.String("trace-out", "", "write the hierarchical phase-timing tree to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -109,11 +116,18 @@ func main() {
 	cfg.Infer.UseDontCare = !*noDontCare
 	cfg.Infer.UseMultiTable = !*noMultiTable
 	cfg.Workers = *jobs
+	if *metricsOut != "" {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		cfg.Trace = obs.StartSpan(name)
+	}
 
 	res, err := driver.Run(name, src, cfg)
 	if err != nil {
 		fatalf("bf4: %v", err)
 	}
+	cfg.Trace.End()
 
 	fmt.Println(res.Summary())
 	if res.Analysis != nil {
@@ -179,6 +193,27 @@ func main() {
 		} else {
 			fmt.Printf("wrote fixed program to %s\n", *fixedOut)
 		}
+	}
+	if *metricsOut != "" {
+		data, err := cfg.Obs.JSON()
+		if err != nil {
+			fatalf("render metrics: %v", err)
+		}
+		writeOut(*metricsOut, append(data, '\n'))
+	}
+	if *traceOut != "" {
+		writeOut(*traceOut, []byte(cfg.Trace.RenderString()))
+	}
+}
+
+// writeOut writes data to a file, or to stdout when path is "-".
+func writeOut(path string, data []byte) {
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"bf4/internal/cfg"
 	"bf4/internal/ir"
+	"bf4/internal/obs"
 	"bf4/internal/p4/ast"
 	"bf4/internal/p4/parser"
 	"bf4/internal/p4/types"
@@ -46,26 +47,56 @@ type Pipeline struct {
 
 // Compile runs the frontend and all verification-form passes.
 func Compile(src string, opts ir.Options, useSlicing bool) (*Pipeline, error) {
+	return CompileObs(src, opts, useSlicing, nil, nil)
+}
+
+// CompileObs is Compile with observability: each pipeline stage (parse,
+// typecheck, lower, passify, wp, slice) becomes a child span of parent
+// and adds its wall time to a bf4_phase_<stage>_ns_total counter. A nil
+// registry and span make it exactly Compile — the artifacts are identical
+// either way (instrumentation only reads the clock).
+func CompileObs(src string, opts ir.Options, useSlicing bool, reg *obs.Registry, parent *obs.Span) (*Pipeline, error) {
 	start := time.Now()
+	_, done := obs.StartPhase(reg, parent, "parse")
 	prog, err := parser.Parse(src)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	_, done = obs.StartPhase(reg, parent, "typecheck")
 	info, err := types.Check(prog)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("typecheck: %w", err)
 	}
-	return CompileChecked(src, prog, info, opts, useSlicing, start)
+	return CompileCheckedObs(src, prog, info, opts, useSlicing, start, reg, parent)
 }
 
 // CompileChecked continues compilation from an already-checked AST.
 func CompileChecked(src string, prog *ast.Program, info *types.Info, opts ir.Options, useSlicing bool, start time.Time) (*Pipeline, error) {
+	return CompileCheckedObs(src, prog, info, opts, useSlicing, start, nil, nil)
+}
+
+// CompileCheckedObs is CompileChecked with per-stage spans and phase
+// counters (see CompileObs).
+func CompileCheckedObs(src string, prog *ast.Program, info *types.Info, opts ir.Options, useSlicing bool, start time.Time, reg *obs.Registry, parent *obs.Span) (*Pipeline, error) {
+	sp, done := obs.StartPhase(reg, parent, "lower")
 	p, err := ir.Build(prog, info, opts)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("lower: %w", err)
 	}
+	sp.SetMetric("nodes", int64(len(p.Nodes)))
+	sp.SetMetric("bugs", int64(len(p.Bugs)))
+
+	_, done = obs.StartPhase(reg, parent, "passify")
 	pass := ssa.Passify(p)
+	done()
+
+	_, done = obs.StartPhase(reg, parent, "wp")
 	full := wp.Compute(p, pass, nil)
+	done()
+
 	pl := &Pipeline{
 		Source:    src,
 		AST:       prog,
@@ -78,9 +109,13 @@ func CompileChecked(src string, prog *ast.Program, info *types.Info, opts ir.Opt
 		Sliced:    useSlicing,
 	}
 	if useSlicing {
+		sp, done := obs.StartPhase(reg, parent, "slice")
 		keep, stats := slice.WRTBugs(p)
 		pl.SliceStats = stats
 		pl.Reach = wp.Compute(p, pass, keep)
+		sp.SetMetric("kept", int64(stats.SliceInstructions))
+		sp.SetMetric("total", int64(stats.TotalInstructions))
+		done()
 	} else {
 		pl.SliceStats = slice.Stats{
 			TotalInstructions: p.NumInstructions(),
@@ -184,8 +219,21 @@ func (pl *Pipeline) FindBugs() *Report {
 // set, so every downstream consumer (Infer, Fixes, the spec builder) sees
 // an identical bug list either way.
 func (pl *Pipeline) FindBugsSkipping(skip map[*ir.Node]bool) *Report {
+	return pl.FindBugsObs(skip, nil, nil)
+}
+
+// FindBugsObs is FindBugsSkipping with observability: the whole phase is
+// one child span of parent (annotated with check/reachable/discharged
+// counts), the bug-check solver publishes its per-query telemetry to reg
+// (see solver.SetObs), and discharge outcomes land on
+// bf4_core_discharged_{analysis,fold}_total. Verdicts and models are
+// identical with reg/parent nil — the solver path is untouched.
+func (pl *Pipeline) FindBugsObs(skip map[*ir.Node]bool, reg *obs.Registry, parent *obs.Span) *Report {
 	start := time.Now()
+	sp, done := obs.StartPhase(reg, parent, "findbugs")
+	defer done()
 	s := solver.New(pl.IR.F)
+	s.SetObs(reg)
 	rep := &Report{Pipeline: pl, S: s}
 	reachable := pl.IR.Reachable()
 
@@ -232,5 +280,20 @@ func (pl *Pipeline) FindBugsSkipping(skip map[*ir.Node]bool) *Report {
 	}
 	rep.CNFVars, rep.CNFClauses, _, _ = s.Stats()
 	rep.SolveTime = time.Since(start)
+	if reg != nil {
+		reg.Counter("bf4_core_bugs_total").Add(int64(len(rep.Bugs)))
+		reg.Counter("bf4_core_bugs_reachable_total").Add(int64(rep.NumReachable()))
+		discharged := 0
+		for _, b := range rep.Bugs {
+			if b.Discharged {
+				discharged++
+			}
+		}
+		reg.Counter("bf4_core_discharged_analysis_total").Add(int64(discharged - rep.FoldDischarged))
+		reg.Counter("bf4_core_discharged_fold_total").Add(int64(rep.FoldDischarged))
+		sp.SetMetric("checks", int64(rep.Checks))
+		sp.SetMetric("reachable", int64(rep.NumReachable()))
+		sp.SetMetric("discharged", int64(discharged))
+	}
 	return rep
 }

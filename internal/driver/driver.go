@@ -17,6 +17,7 @@ import (
 	"bf4/internal/fixes"
 	"bf4/internal/infer"
 	"bf4/internal/ir"
+	"bf4/internal/obs"
 	"bf4/internal/p4/ast"
 	"bf4/internal/p4/parser"
 	"bf4/internal/p4/types"
@@ -46,6 +47,14 @@ type Config struct {
 	// <= 0 means GOMAXPROCS. It overrides Infer.Workers when set. The
 	// results are identical for every value — only wall-clock changes.
 	Workers int
+	// Obs, when non-nil, collects metrics from every layer of the run
+	// (phase timings, per-query solver telemetry, pool utilization);
+	// Trace, when non-nil, parents a span per pipeline phase for the
+	// --trace-out tree. Both default nil (zero overhead), and every
+	// artifact of the run — bug lists, annotations, fixed source — is
+	// byte-identical with them on or off.
+	Obs   *obs.Registry
+	Trace *obs.Span
 }
 
 // DefaultConfig matches the paper's configuration.
@@ -96,9 +105,12 @@ func Run(name, src string, cfg Config) (*Result, error) {
 	if cfg.Workers != 0 {
 		cfg.Infer.Workers = cfg.Workers
 	}
+	cfg.Infer.Obs = cfg.Obs
 	res := &Result{Name: name, LoC: countLoC(src)}
 
-	pl, err := core.Compile(src, cfg.IR, cfg.Slicing)
+	compileSp, compileDone := obs.StartPhase(cfg.Obs, cfg.Trace, "compile")
+	pl, err := core.CompileObs(src, cfg.IR, cfg.Slicing, cfg.Obs, compileSp)
+	compileDone()
 	if err != nil {
 		return nil, err
 	}
@@ -110,23 +122,31 @@ func Run(name, src string, cfg Config) (*Result, error) {
 		pl.IR.F.SetSimplifyProvider(rewrite.Provider(pl.IR.F))
 	}
 	res.Initial = pl
-	findBugs := func(pl *core.Pipeline) (*core.Report, *analysis.Result) {
+	findBugs := func(pl *core.Pipeline, parent *obs.Span) (*core.Report, *analysis.Result) {
 		if !cfg.Analysis {
-			return pl.FindBugs(), nil
+			return pl.FindBugsObs(nil, cfg.Obs, parent), nil
 		}
+		_, done := obs.StartPhase(cfg.Obs, parent, "analysis")
 		ar := analysis.Run(pl.IR, pl.AST)
-		return pl.FindBugsSkipping(ar.Discharge), ar
+		done()
+		return pl.FindBugsObs(ar.Discharge, cfg.Obs, parent), ar
 	}
-	rep, ar := findBugs(pl)
+	rep, ar := findBugs(pl, cfg.Trace)
 	res.Analysis = ar
 	res.InitialRep = rep
 	res.Bugs = rep.NumReachable()
 
-	inf := infer.Run(pl, rep, cfg.Infer)
+	inferOpts := cfg.Infer
+	inferSp, inferDone := obs.StartPhase(cfg.Obs, cfg.Trace, "inference")
+	inferOpts.Trace = inferSp
+	inf := infer.Run(pl, rep, inferOpts)
+	inferDone()
 	res.InferResult = inf
 	res.BugsAfterInfer = len(inf.Uncontrolled)
 
+	_, fixesDone := obs.StartPhase(cfg.Obs, cfg.Trace, "fixes")
 	fx := fixes.Run(pl, inf.Uncontrolled)
+	fixesDone()
 	res.Fixes = fx
 	res.KeysAdded = fx.TotalKeys()
 	res.TablesTouched = fx.TablesTouched()
@@ -148,11 +168,13 @@ func Run(name, src string, cfg Config) (*Result, error) {
 	const maxRounds = 3
 	for round := 0; round < maxRounds; round++ {
 		res.Rounds = round + 1
+		roundSp, roundDone := obs.StartPhase(cfg.Obs, cfg.Trace, "rebuild")
 		opts2 := cfg.IR
 		opts2.ExtraKeys = allKeys
 		opts2.InitEgressSpecDrop = opts2.InitEgressSpecDrop || egressFix
-		pl2, err := core.Compile(src, opts2, cfg.Slicing)
+		pl2, err := core.CompileObs(src, opts2, cfg.Slicing, cfg.Obs, roundSp)
 		if err != nil {
+			roundDone()
 			return nil, fmt.Errorf("rebuild with fixes: %w", err)
 		}
 		if cfg.Rewrite {
@@ -160,12 +182,15 @@ func Run(name, src string, cfg Config) (*Result, error) {
 			pl2.IR.F.SetSimplifyProvider(rewrite.Provider(pl2.IR.F))
 		}
 		res.Fixed = pl2
-		rep2, _ := findBugs(pl2)
-		inf2 := infer.Run(pl2, rep2, cfg.Infer)
+		rep2, _ := findBugs(pl2, roundSp)
+		inferOpts2 := cfg.Infer
+		inferOpts2.Trace = roundSp
+		inf2 := infer.Run(pl2, rep2, inferOpts2)
 		res.FinalInfer = inf2
 		res.BugsAfterFixes = len(inf2.Uncontrolled)
 		res.Dataplane = inf2.Uncontrolled
 		if res.BugsAfterFixes == 0 {
+			roundDone()
 			break
 		}
 		fx2 := fixes.Run(pl2, inf2.Uncontrolled)
@@ -188,6 +213,7 @@ func Run(name, src string, cfg Config) (*Result, error) {
 			res.Fixes.Special = append(res.Fixes.Special, fx2.Special...)
 			newKeys++
 		}
+		roundDone()
 		if newKeys == 0 {
 			break // only genuine dataplane bugs remain
 		}

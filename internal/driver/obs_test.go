@@ -1,0 +1,87 @@
+package driver
+
+import (
+	"bytes"
+	"testing"
+
+	"bf4/internal/obs"
+	"bf4/internal/progs"
+	"bf4/internal/spec"
+)
+
+// runWithObs runs the full loop and returns the result together with the
+// marshaled spec file (annotations + schemas) — the externally visible
+// artifact the shim consumes.
+func runWithObs(t *testing.T, name, src string, reg *obs.Registry, tr *obs.Span) (*Result, []byte) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Obs = reg
+	cfg.Trace = tr
+	res, err := Run(name, src, cfg)
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	pl := res.Fixed
+	if pl == nil {
+		pl = res.Initial
+	}
+	file := spec.Build(name, pl.IR, res.InitialRep, res.FinalInfer, res.Fixes.Special)
+	data, err := file.Marshal()
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	return res, data
+}
+
+// TestObservabilityPreservesVerdicts is the observability contract: with
+// a registry and trace attached, every externally visible artifact —
+// bug counts, inferred annotations, fixed source, the marshaled spec —
+// is byte-identical to a plain run. Instrumentation only reads clocks
+// and bumps counters; it must never perturb solver state or iteration
+// order.
+func TestObservabilityPreservesVerdicts(t *testing.T) {
+	for _, name := range []string{"simple_nat", "heavy_hitter_2", "linearroad_16", "mplb_router-ppc"} {
+		p := progs.Get(name)
+		if p == nil {
+			t.Fatalf("missing corpus program %s", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			plain, plainSpec := runWithObs(t, p.Name, p.Source, nil, nil)
+
+			reg := obs.NewRegistry()
+			root := obs.StartSpan(p.Name)
+			observed, obsSpec := runWithObs(t, p.Name, p.Source, reg, root)
+			root.End()
+
+			if plain.Bugs != observed.Bugs ||
+				plain.BugsAfterInfer != observed.BugsAfterInfer ||
+				plain.BugsAfterFixes != observed.BugsAfterFixes ||
+				plain.KeysAdded != observed.KeysAdded ||
+				plain.TablesTouched != observed.TablesTouched ||
+				plain.Rounds != observed.Rounds {
+				t.Errorf("verdicts differ with obs on:\nplain    %s\nobserved %s",
+					plain.Summary(), observed.Summary())
+			}
+			if plain.FixedSource != observed.FixedSource {
+				t.Error("fixed source differs with obs on")
+			}
+			if !bytes.Equal(plainSpec, obsSpec) {
+				t.Error("marshaled spec differs with obs on")
+			}
+
+			// And the run must actually have been observed.
+			if reg.CounterValue("bf4_solver_checks_total") == 0 {
+				t.Error("no solver checks recorded")
+			}
+			if reg.CounterValue("bf4_phase_findbugs_ns_total") == 0 {
+				t.Error("no findbugs phase time recorded")
+			}
+			if len(root.Children()) == 0 {
+				t.Error("trace tree is empty")
+			}
+			if root.Duration() <= 0 {
+				t.Error("root span has no duration")
+			}
+		})
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"bf4/internal/driver"
 	"bf4/internal/infer"
 	"bf4/internal/ir"
+	"bf4/internal/obs"
 	"bf4/internal/pool"
 	"bf4/internal/progs"
 	"bf4/internal/shim"
@@ -57,6 +58,38 @@ type Table1Row struct {
 // Runtime column is load-dependent. switchScale overrides the generated
 // switch's scale (0 = skip switch, for quick runs).
 func Table1(switchScale, workers int) ([]Table1Row, error) {
+	rows, _, err := table1(switchScale, workers, false)
+	return rows, err
+}
+
+// Table1Metrics is one program's deterministic metric summary for the
+// bf4-bench -metrics table: solver and pipeline counters only, no
+// timings, so the rendering is byte-stable across worker counts and
+// machines (search effort is deterministic per program — each run owns
+// its factory and solvers).
+type Table1Metrics struct {
+	Program       string
+	SolverChecks  int64
+	Sat, Unsat    int64
+	Conflicts     int64
+	Propagations  int64
+	LearnedCls    int64
+	CNFVars       int64
+	CNFClauses    int64
+	InferCalls    int64
+	Discharged    int64 // analysis + fold pre-discharges
+	PoolInferRuns int64 // instances handed to the infer pool
+}
+
+// Table1WithMetrics is Table1 plus a per-program metric summary gathered
+// through a private obs.Registry per run. The Table1Row values are
+// byte-identical to Table1's — the observability contract — which CI
+// enforces by diffing the table1 section with -metrics on and off.
+func Table1WithMetrics(switchScale, workers int) ([]Table1Row, []Table1Metrics, error) {
+	return table1(switchScale, workers, true)
+}
+
+func table1(switchScale, workers int, withMetrics bool) ([]Table1Row, []Table1Metrics, error) {
 	type job struct{ name, src string }
 	var jobs []job
 	for _, p := range progs.All() {
@@ -69,12 +102,22 @@ func Table1(switchScale, workers int) ([]Table1Row, error) {
 		}
 		jobs = append(jobs, job{p.Name, src})
 	}
-	rows, err := pool.MapErr(workers, len(jobs), func(i int) (Table1Row, error) {
-		res, err := driver.Run(jobs[i].name, jobs[i].src, driver.DefaultConfig())
-		if err != nil {
-			return Table1Row{}, fmt.Errorf("%s: %w", jobs[i].name, err)
+	type out struct {
+		row Table1Row
+		m   Table1Metrics
+	}
+	outs, err := pool.MapErr(workers, len(jobs), func(i int) (out, error) {
+		cfg := driver.DefaultConfig()
+		var reg *obs.Registry
+		if withMetrics {
+			reg = obs.NewRegistry()
+			cfg.Obs = reg
 		}
-		return Table1Row{
+		res, err := driver.Run(jobs[i].name, jobs[i].src, cfg)
+		if err != nil {
+			return out{}, fmt.Errorf("%s: %w", jobs[i].name, err)
+		}
+		o := out{row: Table1Row{
 			Program:        jobs[i].name,
 			LoC:            res.LoC,
 			Bugs:           res.Bugs,
@@ -82,13 +125,53 @@ func Table1(switchScale, workers int) ([]Table1Row, error) {
 			Runtime:        res.Runtime,
 			BugsAfterFixes: res.BugsAfterFixes,
 			KeysAdded:      res.KeysAdded,
-		}, nil
+		}}
+		if withMetrics {
+			o.m = Table1Metrics{
+				Program:      jobs[i].name,
+				SolverChecks: reg.CounterValue("bf4_solver_checks_total"),
+				Sat:          reg.CounterValue("bf4_solver_sat_total"),
+				Unsat:        reg.CounterValue("bf4_solver_unsat_total"),
+				Conflicts:    reg.CounterValue("bf4_solver_conflicts_total"),
+				Propagations: reg.CounterValue("bf4_solver_propagations_total"),
+				LearnedCls:   reg.CounterValue("bf4_solver_learned_clauses_total"),
+				CNFVars:      reg.GaugeValue("bf4_solver_cnf_vars"),
+				CNFClauses:   reg.GaugeValue("bf4_solver_cnf_clauses"),
+				InferCalls:   reg.CounterValue("bf4_infer_calls_total"),
+				Discharged: reg.CounterValue("bf4_core_discharged_analysis_total") +
+					reg.CounterValue("bf4_core_discharged_fold_total"),
+				PoolInferRuns: reg.CounterValue("bf4_pool_infer_tasks_total"),
+			}
+		}
+		return o, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Program < rows[j].Program })
-	return rows, nil
+	sort.Slice(outs, func(i, j int) bool { return outs[i].row.Program < outs[j].row.Program })
+	rows := make([]Table1Row, len(outs))
+	var ms []Table1Metrics
+	for i, o := range outs {
+		rows[i] = o.row
+		if withMetrics {
+			ms = append(ms, o.m)
+		}
+	}
+	return rows, ms, nil
+}
+
+// RenderTable1Metrics prints the -metrics companion table. Every column
+// is a deterministic counter, so the output is byte-stable.
+func RenderTable1Metrics(ms []Table1Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %7s %5s %6s %9s %12s %8s %8s %9s %6s %6s\n",
+		"Program", "checks", "sat", "unsat", "conflicts", "propagations", "cnfvars", "cnfcls", "inferiter", "disch", "learnt")
+	for _, m := range ms {
+		fmt.Fprintf(&b, "%-22s %7d %5d %6d %9d %12d %8d %8d %9d %6d %6d\n",
+			m.Program, m.SolverChecks, m.Sat, m.Unsat, m.Conflicts, m.Propagations,
+			m.CNFVars, m.CNFClauses, m.InferCalls, m.Discharged, m.LearnedCls)
+	}
+	return b.String()
 }
 
 // RenderTable1 prints rows in the paper's column order.

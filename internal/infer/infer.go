@@ -16,6 +16,7 @@ import (
 
 	"bf4/internal/core"
 	"bf4/internal/ir"
+	"bf4/internal/obs"
 	"bf4/internal/pool"
 	"bf4/internal/smt"
 	"bf4/internal/solver"
@@ -87,6 +88,12 @@ type Options struct {
 	// results are merged in a fixed instance order, so Run's output is
 	// identical for every worker count.
 	Workers int
+	// Obs, when non-nil, receives phase timings, pool utilization and
+	// per-query solver telemetry; Trace parents the phase spans. Both
+	// default nil, and the inference output — assertions, controlled set,
+	// uncontrolled list — is identical either way.
+	Obs   *obs.Registry
+	Trace *obs.Span
 }
 
 // DefaultOptions matches the paper's configuration.
@@ -120,9 +127,10 @@ func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 	f := pl.IR.F
 	workers := pool.Workers(opts.Workers)
 	res := &Result{Controlled: map[*ir.Node]bool{}}
-	re := &rechecker{pl: pl, res: res, s: rep.S}
+	re := &rechecker{pl: pl, res: res, s: rep.S, obs: opts.Obs, trace: opts.Trace}
 	if re.s == nil {
 		re.s = solver.New(f)
+		re.s.SetObs(opts.Obs)
 	}
 
 	reachableBugs := make([]*core.Bug, 0, len(rep.Bugs))
@@ -136,7 +144,8 @@ func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 	// execution over the shared term factory; no solver involved).
 	if opts.UseFastInfer {
 		start := time.Now()
-		fast := pool.Map(workers, len(pl.IR.Instances), func(i int) *Assertion {
+		sp, done := obs.StartPhase(opts.Obs, opts.Trace, "fastinfer")
+		fast := pool.ObservedMap(opts.Obs, "fastinfer", workers, len(pl.IR.Instances), func(i int) *Assertion {
 			return FastInfer(pl, pl.IR.Instances[i])
 		})
 		for _, a := range fast {
@@ -144,6 +153,8 @@ func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 				res.Assertions = append(res.Assertions, a)
 			}
 		}
+		sp.SetMetric("assertions", int64(len(res.Assertions)))
+		done()
 		res.FastInferTime = time.Since(start)
 	}
 
@@ -154,6 +165,7 @@ func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 	// bugs, one task (and one private dual solver) per instance.
 	if opts.UseInfer && len(uncontrolled) > 0 {
 		start := time.Now()
+		sp, phaseDone := obs.StartPhase(opts.Obs, opts.Trace, "infer")
 		byInstance := map[*ir.TableInstance][]*core.Bug{}
 		for _, b := range uncontrolled {
 			if b.Instance != nil {
@@ -174,9 +186,10 @@ func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 			a     *Assertion
 			calls int
 		}
-		outs := pool.Map(workers, len(insts), func(i int) inferOut {
+		outs := pool.ObservedMap(opts.Obs, "infer", workers, len(insts), func(i int) inferOut {
 			inst := insts[i]
 			dual := solver.New(f)
+			dual.SetObs(opts.Obs)
 			// Model-enumeration solvers run without the term-level
 			// rewrite pass: rewriting is verdict-preserving but not
 			// model-preserving, and Infer's cubes are built from models
@@ -194,17 +207,25 @@ func Run(pl *core.Pipeline, rep *core.Report, opts Options) *Result {
 				res.Assertions = append(res.Assertions, o.a)
 			}
 		}
+		if opts.Obs != nil {
+			opts.Obs.Counter("bf4_infer_calls_total").Add(int64(res.InferCalls))
+		}
+		sp.SetMetric("instances", int64(len(insts)))
+		sp.SetMetric("calls", int64(res.InferCalls))
+		phaseDone()
 		res.InferTime = time.Since(start)
 		uncontrolled = re.recheck(uncontrolled)
 	}
 
 	// Phase 3: multi-table heuristic for the stragglers.
 	if opts.UseMultiTable && len(uncontrolled) > 0 {
+		_, done := obs.StartPhase(opts.Obs, opts.Trace, "multitable")
 		for _, a := range MultiTable(pl, uncontrolled, workers) {
 			if len(a.Forbidden) > 0 {
 				res.Assertions = append(res.Assertions, a)
 			}
 		}
+		done()
 		uncontrolled = re.recheck(uncontrolled)
 	}
 
@@ -220,10 +241,15 @@ type rechecker struct {
 	res      *Result
 	s        *solver.Solver
 	asserted int
+	obs      *obs.Registry
+	trace    *obs.Span
 }
 
 func (re *rechecker) recheck(candidates []*core.Bug) []*core.Bug {
 	start := time.Now()
+	sp, done := obs.StartPhase(re.obs, re.trace, "recheck")
+	sp.SetMetric("candidates", int64(len(candidates)))
+	defer done()
 	defer func() { re.res.RecheckTime += time.Since(start) }()
 	f := re.pl.IR.F
 	for ; re.asserted < len(re.res.Assertions); re.asserted++ {
@@ -402,6 +428,7 @@ func inferShared(pl *core.Pipeline, dual *solver.Solver, inst *ir.TableInstance,
 	}
 
 	direct := solver.New(f)
+	direct.SetObs(opts.Obs)
 	direct.SetRewrite(nil) // model enumeration must be rewrite-independent
 	direct.Assert(bug)
 

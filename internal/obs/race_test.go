@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRaceSoak hammers the metrics hot path from many goroutines — the
+// same counters, gauges, histograms and span trees concurrently, with
+// expositions rendered mid-flight — so `go test -race ./internal/obs`
+// exercises every lock-free path under contention. The final counts are
+// asserted exactly: atomic increments must not lose updates.
+func TestRaceSoak(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 2000
+	)
+	r := NewRegistry()
+	root := StartSpan("soak")
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Per-goroutine span child, shared metrics.
+			sp := root.StartChild("worker")
+			c := r.Counter("soak_events_total")
+			ga := r.Gauge("soak_inflight")
+			h := r.Histogram("soak_latency_ns", DurationBuckets)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(int64(i%10) * 1000)
+				ga.Add(-1)
+				if i%100 == 0 {
+					// Lookup path under contention.
+					r.Counter("soak_events_total").Add(0)
+					sub := sp.StartChild("tick")
+					sub.SetMetric("i", int64(i))
+					sub.End()
+				}
+			}
+			sp.End()
+		}(g)
+	}
+	// Concurrent scrapes while writers run.
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := r.JSON(); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = root.RenderString()
+		}
+	}()
+	wg.Wait()
+	<-scrapeDone
+
+	if got := r.CounterValue("soak_events_total"); got != goroutines*iters {
+		t.Fatalf("lost counter updates: %d, want %d", got, goroutines*iters)
+	}
+	if got := r.GaugeValue("soak_inflight"); got != 0 {
+		t.Fatalf("gauge did not return to zero: %d", got)
+	}
+	h := r.Histogram("soak_latency_ns", DurationBuckets)
+	if got := h.Count(); got != goroutines*iters {
+		t.Fatalf("lost histogram samples: %d, want %d", got, goroutines*iters)
+	}
+	if kids := root.Children(); len(kids) != goroutines {
+		t.Fatalf("span children = %d, want %d", len(kids), goroutines)
+	}
+}

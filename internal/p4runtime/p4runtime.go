@@ -38,6 +38,7 @@ import (
 
 	"bf4/internal/dataplane"
 	"bf4/internal/ir"
+	"bf4/internal/obs"
 	"bf4/internal/shim"
 )
 
@@ -204,6 +205,12 @@ type Server struct {
 	// MaxConns caps concurrent connections; extra connections receive an
 	// error Response and are closed (default 0 = unlimited).
 	MaxConns int
+	// Obs, when non-nil, publishes server metrics: request counts and
+	// latency (bf4_p4rt_requests_total, bf4_p4rt_request_errors_total,
+	// bf4_p4rt_request_ns) and the live connection gauge
+	// (bf4_p4rt_connections). Attach the same registry to Shim via
+	// SetObs for the full picture. All obs calls are nil-safe.
+	Obs *obs.Registry
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -278,6 +285,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[conn] = true
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.Obs.Gauge("bf4_p4rt_connections").Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
@@ -366,6 +374,7 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		s.Obs.Gauge("bf4_p4rt_connections").Add(-1)
 	}()
 	r := bufio.NewReaderSize(conn, 4096)
 	enc := json.NewEncoder(conn)
@@ -408,13 +417,20 @@ func (s *Server) writeResponse(conn net.Conn, enc *json.Encoder, resp *Response)
 	return enc.Encode(resp) == nil
 }
 
-// dispatchSafe turns a dispatch panic into an error Response.
+// dispatchSafe turns a dispatch panic into an error Response and records
+// request metrics (count, error count, latency) when Obs is attached.
 func (s *Server) dispatchSafe(req *Request) (resp *Response) {
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			resp = &Response{ID: req.ID, OK: false,
 				Error: fmt.Sprintf("p4runtime: internal error: %v", r)}
 		}
+		s.Obs.Counter("bf4_p4rt_requests_total").Inc()
+		if resp != nil && !resp.OK {
+			s.Obs.Counter("bf4_p4rt_request_errors_total").Inc()
+		}
+		s.Obs.Histogram("bf4_p4rt_request_ns", obs.DurationBuckets).Observe(int64(time.Since(start)))
 	}()
 	return s.dispatch(req)
 }

@@ -143,6 +143,62 @@ type Solver struct {
 	propagations int64
 	conflicts    int64
 	decisions    int64
+	restarts     int64
+	learned      int64
+	problemCs    int // cached count of non-learnt clauses (they are never deleted)
+}
+
+// Stats is a snapshot of the solver's cumulative search statistics.
+// Callers that need per-query numbers take a snapshot before and after a
+// Solve call and subtract (Sub): the counters themselves are cumulative
+// across the solver's lifetime, which under solver reuse (incremental
+// checks, worker pools) would misattribute work across queries.
+type Stats struct {
+	// Conflicts is the number of conflicts hit during search.
+	Conflicts int64
+	// Propagations is the number of unit propagations.
+	Propagations int64
+	// Decisions is the number of branching decisions.
+	Decisions int64
+	// Restarts is the number of Luby restarts taken.
+	Restarts int64
+	// Learned is the number of clauses learned from conflicts (including
+	// unit clauses that never enter the clause database).
+	Learned int64
+}
+
+// Sub returns the component-wise difference a - b: the work done between
+// snapshot b and snapshot a.
+func (a Stats) Sub(b Stats) Stats {
+	return Stats{
+		Conflicts:    a.Conflicts - b.Conflicts,
+		Propagations: a.Propagations - b.Propagations,
+		Decisions:    a.Decisions - b.Decisions,
+		Restarts:     a.Restarts - b.Restarts,
+		Learned:      a.Learned - b.Learned,
+	}
+}
+
+// Add returns the component-wise sum a + b.
+func (a Stats) Add(b Stats) Stats {
+	return Stats{
+		Conflicts:    a.Conflicts + b.Conflicts,
+		Propagations: a.Propagations + b.Propagations,
+		Decisions:    a.Decisions + b.Decisions,
+		Restarts:     a.Restarts + b.Restarts,
+		Learned:      a.Learned + b.Learned,
+	}
+}
+
+// StatsSnapshot returns the current cumulative search statistics.
+func (s *Solver) StatsSnapshot() Stats {
+	return Stats{
+		Conflicts:    s.conflicts,
+		Propagations: s.propagations,
+		Decisions:    s.decisions,
+		Restarts:     s.restarts,
+		Learned:      s.learned,
+	}
 }
 
 // New returns an empty solver. Equivalent to new(Solver) but reads better
@@ -166,22 +222,26 @@ func (s *Solver) init() {
 // NumVars returns the number of variables created so far.
 func (s *Solver) NumVars() int { return len(s.assigns) }
 
-// NumClauses returns the number of problem (non-learnt) clauses.
-func (s *Solver) NumClauses() int {
-	n := 0
-	for i := range s.clauses {
-		if !s.clauses[i].learnt && !s.clauses[i].deleted {
-			n++
-		}
-	}
-	return n
-}
+// NumClauses returns the number of problem (non-learnt) clauses. The
+// count is maintained incrementally (problem clauses are never deleted;
+// reduceDB only drops learnt ones), so per-check CNF-growth snapshots are
+// O(1) instead of a walk over the clause database.
+func (s *Solver) NumClauses() int { return s.problemCs }
 
 // Conflicts returns the cumulative number of conflicts across Solve calls.
 func (s *Solver) Conflicts() int64 { return s.conflicts }
 
 // Propagations returns the cumulative number of unit propagations.
 func (s *Solver) Propagations() int64 { return s.propagations }
+
+// Decisions returns the cumulative number of branching decisions.
+func (s *Solver) Decisions() int64 { return s.decisions }
+
+// Restarts returns the cumulative number of restarts across Solve calls.
+func (s *Solver) Restarts() int64 { return s.restarts }
+
+// Learned returns the cumulative number of learnt clauses.
+func (s *Solver) Learned() int64 { return s.learned }
 
 // NewVar creates a fresh variable and returns it.
 func (s *Solver) NewVar() Var {
@@ -262,6 +322,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 
 func (s *Solver) attachClause(c clause) int {
 	cref := len(s.clauses)
+	if !c.learnt {
+		s.problemCs++
+	}
 	s.clauses = append(s.clauses, c)
 	l0, l1 := c.lits[0], c.lits[1]
 	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{cref, l1})
@@ -637,6 +700,7 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 		if conflictBudget > 0 && conflictsThisCall >= conflictBudget {
 			return Unknown
 		}
+		s.restarts++
 		s.cancelUntil(0)
 	}
 }
@@ -662,6 +726,7 @@ func (s *Solver) search(assumptions []Lit, conflictLimit int64, conflictsThisCal
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
+			s.learned++
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
 				s.cancelUntil(0)

@@ -38,16 +38,21 @@ func (s *Shim) ApplyBatchWithKey(key string, updates []*Update) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err, seen := s.lookupApplied(key); seen {
+		s.obs.dedupHits.Inc()
 		return err
 	}
+	s.obs.batches.Inc()
 	rollback, err := s.applyBatchLocked(updates)
 	if err == nil {
 		if jerr := s.journalLocked(key, updates); jerr != nil {
 			rollback()
 			err = jerr
+			s.obs.batchRejected.Inc()
 		} else {
 			err = s.maybeCheckpointLocked()
 		}
+	} else {
+		s.obs.batchRejected.Inc()
 	}
 	s.recordOutcome(key, err)
 	return err
@@ -71,6 +76,7 @@ func (s *Shim) applyBatchLocked(updates []*Update) (func(), error) {
 	}
 	rollback := func() {
 		for t, n := range lengths {
+			s.obs.shadowEntries.Add(int64(n - len(s.shadow[t])))
 			s.shadow[t] = s.shadow[t][:n]
 		}
 		for t := range priorDefaults {

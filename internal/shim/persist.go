@@ -340,6 +340,7 @@ func (s *Shim) journalLocked(key string, updates []*Update) error {
 	}
 	s.seq = rec.Seq
 	st.recs++
+	s.obs.journalAppends.Inc()
 	return nil
 }
 
@@ -420,6 +421,7 @@ func (s *Shim) checkpointLocked() error {
 	}
 	st.journal = jf
 	st.recs = 0
+	s.obs.checkpoints.Inc()
 	return nil
 }
 

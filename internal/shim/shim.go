@@ -83,6 +83,7 @@ type Shim struct {
 	shadow   map[string][]*dataplane.Entry
 	defaults map[string]*dataplane.DefaultAction
 	counters struct{ validated, rejected int }
+	obs      shimObs
 
 	perAssertion reservoir
 	perUpdate    reservoir
@@ -218,6 +219,7 @@ func (s *Shim) ApplyWithKey(key string, u *Update) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err, seen := s.lookupApplied(key); seen {
+		s.obs.dedupHits.Inc()
 		return err
 	}
 	err := s.validateLocked(u)
@@ -237,6 +239,7 @@ func (s *Shim) ApplyWithKey(key string, u *Update) error {
 func (s *Shim) commitLocked(u *Update) {
 	if u.Entry != nil {
 		s.shadow[u.Table] = append(s.shadow[u.Table], u.Entry)
+		s.obs.shadowEntries.Add(1)
 	}
 	if u.SetDefault != nil {
 		s.defaults[u.Table] = u.SetDefault
@@ -287,23 +290,32 @@ func (s *Shim) Snapshot() *dataplane.Snapshot {
 	return snap
 }
 
+// rejectLocked bumps the rejection tallies (legacy counter + metrics).
+func (s *Shim) rejectLocked() {
+	s.counters.rejected++
+	s.obs.rejected.Inc()
+}
+
 func (s *Shim) validateLocked(u *Update) error {
 	start := time.Now()
 	defer func() {
-		s.perUpdate.add(time.Since(start).Nanoseconds())
+		ns := time.Since(start).Nanoseconds()
+		s.perUpdate.add(ns)
+		s.obs.updateNs.Observe(ns)
 	}()
 	s.counters.validated++
+	s.obs.validated.Inc()
 
 	ts := s.file.Table(u.Table)
 	if ts == nil {
-		s.counters.rejected++
+		s.rejectLocked()
 		return &RejectionError{Table: u.Table, Reason: "unknown table"}
 	}
 	// Default-rule policy: reject buggy actions outright (§4.4).
 	if u.SetDefault != nil {
 		for _, a := range ts.Actions {
 			if a.Name == u.SetDefault.Action && a.Buggy {
-				s.counters.rejected++
+				s.rejectLocked()
 				return &RejectionError{Table: u.Table,
 					Reason: fmt.Sprintf("default action %s has a reachable bug", a.Name)}
 			}
@@ -311,14 +323,14 @@ func (s *Shim) validateLocked(u *Update) error {
 		return nil
 	}
 	if u.Entry == nil {
-		s.counters.rejected++
+		s.rejectLocked()
 		return &RejectionError{Table: u.Table, Reason: "empty update"}
 	}
 	if s.AutofillSynthesizedKeys {
 		s.autofill(ts, u.Entry)
 	}
 	if len(u.Entry.Keys) != len(ts.Keys) {
-		s.counters.rejected++
+		s.rejectLocked()
 		return &RejectionError{Table: u.Table,
 			Reason: fmt.Sprintf("entry has %d keys, table has %d", len(u.Entry.Keys), len(ts.Keys))}
 	}
@@ -330,9 +342,11 @@ func (s *Shim) validateLocked(u *Update) error {
 		for i, term := range ca.terms {
 			aStart := time.Now()
 			violated := s.evalCondition(ca, i, term, env, bound, ts)
-			s.perAssertion.add(time.Since(aStart).Nanoseconds())
+			aNs := time.Since(aStart).Nanoseconds()
+			s.perAssertion.add(aNs)
+			s.obs.assertNs.Observe(aNs)
 			if violated {
-				s.counters.rejected++
+				s.rejectLocked()
 				return &RejectionError{Table: u.Table, Assertion: ca.src, Forbidden: ca.src.Forbidden[i]}
 			}
 		}

@@ -10,8 +10,10 @@ package solver
 import (
 	"fmt"
 	"math/big"
+	"time"
 
 	"bf4/internal/bitblast"
+	"bf4/internal/obs"
 	"bf4/internal/sat"
 	"bf4/internal/smt"
 )
@@ -50,11 +52,76 @@ type Solver struct {
 	lastCore []*smt.Term
 	checks   int
 
+	// lastCheck is the per-query statistics delta of the most recent
+	// Check call (see LastCheckStats).
+	lastCheck CheckStats
+
+	// hooks holds retained metric handles when SetObs installed a
+	// registry; the zero value (all nil) is the disabled layer — every
+	// recording call is a nil-check no-op.
+	hooks obsHooks
+
 	// scopes holds the activation literal of each open Push frame;
 	// scopeSeq names fresh activation variables (never reused, since Pop
 	// permanently asserts the negation).
 	scopes   []*smt.Term
 	scopeSeq int
+}
+
+// CheckStats describes one Check call in isolation: every field is a
+// delta over that call, not a cumulative per-solver total. Cumulative
+// counters under solver reuse (incremental checks, one solver serving
+// many queries in a worker pool) misattribute work across queries; the
+// snapshot-delta form is what the observability layer and the experiment
+// harness consume.
+type CheckStats struct {
+	// Result is the check's outcome.
+	Result Result
+	// Search holds the SAT search-statistic deltas for this check.
+	Search sat.Stats
+	// NewVars and NewClauses count CNF growth during this check
+	// (assumption blasting; the incremental circuit persists).
+	NewVars, NewClauses int
+	// BlastTime covers simplification + bit-blasting of the assumptions;
+	// SearchTime covers the CDCL search itself.
+	BlastTime, SearchTime time.Duration
+}
+
+// obsHooks are the solver's retained metric handles (nil when disabled).
+type obsHooks struct {
+	checks, sat, unsat, unknown                  *obs.Counter
+	conflicts, propagations, decisions, restarts *obs.Counter
+	learned, blastNs, searchNs                   *obs.Counter
+	checkConflicts, checkNs                      *obs.Histogram
+	cnfVars, cnfClauses                          *obs.Gauge
+}
+
+// SetObs installs a metrics registry: every subsequent Check records its
+// per-query deltas under the bf4_solver_* names. A nil registry disables
+// recording (the default). Counters are shared and atomic, so many
+// solvers across worker goroutines may point at one registry.
+func (s *Solver) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		s.hooks = obsHooks{}
+		return
+	}
+	s.hooks = obsHooks{
+		checks:         reg.Counter("bf4_solver_checks_total"),
+		sat:            reg.Counter("bf4_solver_sat_total"),
+		unsat:          reg.Counter("bf4_solver_unsat_total"),
+		unknown:        reg.Counter("bf4_solver_unknown_total"),
+		conflicts:      reg.Counter("bf4_solver_conflicts_total"),
+		propagations:   reg.Counter("bf4_solver_propagations_total"),
+		decisions:      reg.Counter("bf4_solver_decisions_total"),
+		restarts:       reg.Counter("bf4_solver_restarts_total"),
+		learned:        reg.Counter("bf4_solver_learned_clauses_total"),
+		blastNs:        reg.Counter("bf4_solver_blast_ns_total"),
+		searchNs:       reg.Counter("bf4_solver_search_ns_total"),
+		checkConflicts: reg.Histogram("bf4_solver_check_conflicts", obs.CountBuckets),
+		checkNs:        reg.Histogram("bf4_solver_check_ns", obs.DurationBuckets),
+		cnfVars:        reg.Gauge("bf4_solver_cnf_vars"),
+		cnfClauses:     reg.Gauge("bf4_solver_cnf_clauses"),
+	}
 }
 
 // New returns an empty solver over the given term factory. If the
@@ -179,6 +246,9 @@ func (s *Solver) NumScopes() int { return len(s.scopes) }
 // call. After Unsat, UnsatCore returns the subset of assumptions used.
 func (s *Solver) Check(assumptions ...*smt.Term) Result {
 	s.checks++
+	start := time.Now()
+	preStats := s.sat.StatsSnapshot()
+	preVars, preClauses := s.sat.NumVars(), s.sat.NumClauses()
 	lits := make([]sat.Lit, 0, len(assumptions)+len(s.scopes))
 	byLit := make(map[sat.Lit]*smt.Term, len(assumptions))
 	for _, act := range s.scopes {
@@ -206,6 +276,7 @@ func (s *Solver) Check(assumptions ...*smt.Term) Result {
 			lits = append(lits, l)
 		}
 	}
+	blastDone := time.Now()
 	res := s.sat.Solve(lits...)
 	if res == Unsat {
 		s.lastCore = s.lastCore[:0]
@@ -215,8 +286,49 @@ func (s *Solver) Check(assumptions ...*smt.Term) Result {
 			}
 		}
 	}
+	s.lastCheck = CheckStats{
+		Result:     res,
+		Search:     s.sat.StatsSnapshot().Sub(preStats),
+		NewVars:    s.sat.NumVars() - preVars,
+		NewClauses: s.sat.NumClauses() - preClauses,
+		BlastTime:  blastDone.Sub(start),
+		SearchTime: time.Since(blastDone),
+	}
+	s.recordCheck()
 	return res
 }
+
+// recordCheck publishes the last check's deltas to the installed
+// registry; with no registry every call is a nil-receiver no-op.
+func (s *Solver) recordCheck() {
+	h := &s.hooks
+	h.checks.Inc()
+	switch s.lastCheck.Result {
+	case Sat:
+		h.sat.Inc()
+	case Unsat:
+		h.unsat.Inc()
+	default:
+		h.unknown.Inc()
+	}
+	d := s.lastCheck.Search
+	h.conflicts.Add(d.Conflicts)
+	h.propagations.Add(d.Propagations)
+	h.decisions.Add(d.Decisions)
+	h.restarts.Add(d.Restarts)
+	h.learned.Add(d.Learned)
+	h.blastNs.Add(s.lastCheck.BlastTime.Nanoseconds())
+	h.searchNs.Add(s.lastCheck.SearchTime.Nanoseconds())
+	h.checkConflicts.Observe(d.Conflicts)
+	h.checkNs.Observe(s.lastCheck.BlastTime.Nanoseconds() + s.lastCheck.SearchTime.Nanoseconds())
+	h.cnfVars.Set(int64(s.sat.NumVars()))
+	h.cnfClauses.Set(int64(s.sat.NumClauses()))
+}
+
+// LastCheckStats returns the per-query statistics of the most recent
+// Check call: snapshot deltas, never cumulative totals, so two sequential
+// checks on one solver report independent work.
+func (s *Solver) LastCheckStats() CheckStats { return s.lastCheck }
 
 // UnsatCore returns, after an Unsat Check, a subset of the assumption
 // terms sufficient for unsatisfiability. The slice is valid until the next
