@@ -1,0 +1,196 @@
+package bitblast
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bf4/internal/sat"
+	"bf4/internal/smt"
+)
+
+// TestGateMemoCanonicalization exercises the structural-hash canonical
+// forms directly: commuted inputs, negation pulling, and branch swapping
+// must all land on the same gate.
+func TestGateMemoCanonicalization(t *testing.T) {
+	f := smt.NewFactory()
+	c := New(f, sat.New())
+	c.SetStructHash(true)
+	c.ensureConsts()
+	x, y, z := c.freshLit(), c.freshLit(), c.freshLit()
+
+	if g1, g2 := c.mkAnd([]sat.Lit{x, y, z}), c.mkAnd([]sat.Lit{z, x, y}); g1 != g2 {
+		t.Fatalf("commuted AND not shared: %v vs %v", g1, g2)
+	}
+	if g := c.mkAnd([]sat.Lit{x, y, x}); g != c.mkAnd([]sat.Lit{x, y}) {
+		t.Fatalf("duplicate AND input not deduped")
+	}
+	if g := c.mkAnd([]sat.Lit{x, y, x.Neg()}); g != c.litFalse {
+		t.Fatalf("complementary AND inputs: got %v, want false", g)
+	}
+
+	x1 := c.mkXor(x, y)
+	if x2 := c.mkXor(y, x); x2 != x1 {
+		t.Fatalf("commuted XOR not shared")
+	}
+	if x3 := c.mkXor(x.Neg(), y); x3 != x1.Neg() {
+		t.Fatalf("negated XOR input must negate the shared output")
+	}
+	if x4 := c.mkXor(x.Neg(), y.Neg()); x4 != x1 {
+		t.Fatalf("doubly-negated XOR must reuse the positive gate")
+	}
+
+	i1 := c.mkIte(x, y, z)
+	if i2 := c.mkIte(x.Neg(), z, y); i2 != i1 {
+		t.Fatalf("condition-negated ITE with swapped branches not shared")
+	}
+	if i3 := c.mkIte(x, y.Neg(), z.Neg()); i3 != i1.Neg() {
+		t.Fatalf("branch-negated ITE must negate the shared output")
+	}
+
+	if c.GateHits() == 0 {
+		t.Fatalf("GateHits = 0, want > 0")
+	}
+}
+
+// TestStructHashReducesCNF: blasting two syntactically different terms
+// with identical sub-circuits must emit less CNF with hashing on.
+func TestStructHashReducesCNF(t *testing.T) {
+	build := func(hash bool) (*Context, *sat.Solver) {
+		f := smt.NewFactory()
+		s := sat.New()
+		c := New(f, s)
+		c.SetStructHash(hash)
+		a, b := f.BVVar("a", 8), f.BVVar("b", 8)
+		// Distinct terms, shared gates: Eq(a,b) builds xor(aᵢ,bᵢ) per bit,
+		// the adder in Add(a,b) rebuilds the same xors, and the subtractor
+		// in Sub(a,b) builds their negations (xor(aᵢ,¬bᵢ)).
+		c.Literal(f.Eq(a, b))
+		c.Literal(f.Ult(f.Add(a, b), f.BVConst64(10, 8)))
+		c.Literal(f.Ult(f.Sub(a, b), f.BVConst64(10, 8)))
+		return c, s
+	}
+	cOn, sOn := build(true)
+	_, sOff := build(false)
+	if sOn.NumClauses() >= sOff.NumClauses() {
+		t.Fatalf("struct hashing did not reduce clauses: on=%d off=%d", sOn.NumClauses(), sOff.NumClauses())
+	}
+	if cOn.GateHits() == 0 {
+		t.Fatalf("no gate hits recorded")
+	}
+}
+
+// TestStructHashMatchesEval re-runs the central circuit-correctness
+// property with structural hashing enabled.
+func TestStructHashMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const w = 6
+	for iter := 0; iter < 300; iter++ {
+		f := smt.NewFactory()
+		a, b := f.BVVar("a", w), f.BVVar("b", w)
+		var term *smt.Term
+		switch iter % 10 {
+		case 0:
+			term = f.Add(a, b)
+		case 1:
+			term = f.Sub(a, b)
+		case 2:
+			term = f.Mul(a, b)
+		case 3:
+			term = f.BVXor(f.Add(a, b), f.Sub(a, b))
+		case 4:
+			term = f.Ite(f.Ult(a, b), f.Add(a, b), f.Sub(a, b))
+		case 5:
+			term = f.Shl(a, b)
+		case 6:
+			term = f.Ashr(a, b)
+		case 7:
+			term = f.BVOr(f.BVAnd(a, b), f.BVNot(a))
+		case 8:
+			term = f.Mul(f.Add(a, b), a)
+		case 9:
+			term = f.SExt(f.Extract(f.Add(a, b), 2, 0), w)
+		}
+		solver := sat.New()
+		c := New(f, solver)
+		c.SetStructHash(true)
+		bits := c.Bits(term)
+		av := new(big.Int).SetUint64(rng.Uint64() & (1<<w - 1))
+		bv := new(big.Int).SetUint64(rng.Uint64() & (1<<w - 1))
+		fixVar(c, a, av)
+		fixVar(c, b, bv)
+		if res := solver.Solve(); res != sat.Sat {
+			t.Fatalf("iter %d: fixed-input circuit unsat for %s", iter, term)
+		}
+		got := new(big.Int)
+		for i, l := range bits {
+			if solver.ValueLit(l) {
+				got.SetBit(got, i, 1)
+			}
+		}
+		want := smt.Eval(term, smt.Env{"a": av, "b": bv})
+		if got.Cmp(want) != 0 {
+			t.Fatalf("iter %d: %s with a=%v b=%v: circuit %v, eval %v", iter, term, av, bv, got, want)
+		}
+	}
+}
+
+// TestAssertImplied: guard → (p ∧ q ∧ r) must split into guarded unit
+// implications that bind only while the guard holds.
+func TestAssertImplied(t *testing.T) {
+	f := smt.NewFactory()
+	s := sat.New()
+	c := New(f, s)
+	g := f.BoolVar("g")
+	p, q := f.BoolVar("p"), f.BoolVar("q")
+	x := f.BVVar("x", 4)
+	c.AssertImplied(g, f.And(p, f.And(q, f.Eq(x, f.BVConst64(9, 4)))))
+	gl := c.Literal(g)
+	// With the guard assumed, all conjuncts must hold.
+	if res := s.Solve(gl); res != sat.Sat {
+		t.Fatalf("guard on: got %v, want Sat", res)
+	}
+	if !c.ModelBool(p) || !c.ModelBool(q) || c.ModelBV(x).Int64() != 9 {
+		t.Fatalf("guard on: conjuncts not forced (p=%v q=%v x=%v)",
+			c.ModelBool(p), c.ModelBool(q), c.ModelBV(x))
+	}
+	// With the guard negated, the conjuncts are unconstrained.
+	if res := s.Solve(gl.Neg(), c.Literal(p).Neg(), c.Literal(q).Neg()); res != sat.Sat {
+		t.Fatalf("guard off: got %v, want Sat", res)
+	}
+}
+
+// TestForgetEliminated: after inprocessing eliminates internal gate
+// variables, purged memo entries must be rebuilt with fresh, correctly
+// defined gates rather than reusing orphaned outputs.
+func TestForgetEliminated(t *testing.T) {
+	f := smt.NewFactory()
+	s := sat.New()
+	c := New(f, s)
+	c.SetStructHash(true)
+	a, b := f.BVVar("a", 6), f.BVVar("b", 6)
+	t1 := f.Ult(f.Add(a, b), f.BVConst64(20, 6))
+	l1 := c.Literal(t1)
+	if res := s.Solve(l1); res != sat.Sat {
+		t.Fatalf("initial solve: got %v, want Sat", res)
+	}
+	res := s.Inprocess(sat.InprocessOptions{})
+	c.ForgetEliminated(res.Eliminated)
+	// Blast a new term over the same sub-circuits; correctness must hold
+	// whether entries were purged or reused.
+	t2 := f.Eq(f.Add(a, b), f.BVConst64(63, 6))
+	l2 := c.Literal(t2)
+	if got := s.Solve(l2); got != sat.Sat {
+		t.Fatalf("a+b=63 should be satisfiable, got %v", got)
+	}
+	av, bv := c.ModelBV(a), c.ModelBV(b)
+	sum := new(big.Int).And(new(big.Int).Add(av, bv), big.NewInt(63))
+	if sum.Int64() != 63 {
+		t.Fatalf("model a=%v b=%v does not satisfy a+b=63", av, bv)
+	}
+	// And the original constraint must still be respected: a+b < 20
+	// conflicts with a+b = 63.
+	if got := s.Solve(l2, l1); got != sat.Unsat {
+		t.Fatalf("a+b<20 ∧ a+b=63: got %v, want Unsat", got)
+	}
+}

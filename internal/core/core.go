@@ -229,11 +229,39 @@ func (pl *Pipeline) FindBugsSkipping(skip map[*ir.Node]bool) *Report {
 // bf4_core_discharged_{analysis,fold}_total. Verdicts and models are
 // identical with reg/parent nil — the solver path is untouched.
 func (pl *Pipeline) FindBugsObs(skip map[*ir.Node]bool, reg *obs.Registry, parent *obs.Span) *Report {
+	return pl.FindBugsWith(FindOptions{Skip: skip, Obs: reg, Trace: parent})
+}
+
+// FindOptions configures the bug-finding phase.
+type FindOptions struct {
+	// Skip holds bug nodes pre-discharged by internal/analysis.
+	Skip map[*ir.Node]bool
+	// Obs/Trace attach observability (see FindBugsObs).
+	Obs   *obs.Registry
+	Trace *obs.Span
+	// Incremental runs every bug check of the slice on one persistent
+	// solver: each check's condition is asserted inside a retractable
+	// activation scope (solver.CheckIn/Retract), so conflict clauses
+	// learned on one check prune the next, shared term DAGs blast to
+	// shared CNF via structural gate hashing, and bounded inprocessing
+	// between checks cleans out retracted-scope clauses. Verdicts and
+	// reported models' satisfying status are unchanged — the identity
+	// harness pins -incremental=on/off reports byte-identical.
+	Incremental bool
+}
+
+// FindBugsWith is the fully-parameterised bug finder; FindBugs,
+// FindBugsSkipping and FindBugsObs delegate to it.
+func (pl *Pipeline) FindBugsWith(opts FindOptions) *Report {
+	skip, reg, parent := opts.Skip, opts.Obs, opts.Trace
 	start := time.Now()
 	sp, done := obs.StartPhase(reg, parent, "findbugs")
 	defer done()
 	s := solver.New(pl.IR.F)
 	s.SetObs(reg)
+	if opts.Incremental {
+		s.SetIncremental(true)
+	}
 	rep := &Report{Pipeline: pl, S: s}
 	reachable := pl.IR.Reachable()
 
@@ -270,11 +298,19 @@ func (pl *Pipeline) FindBugsObs(skip map[*ir.Node]bool, reg *obs.Registry, paren
 			rep.Bugs = append(rep.Bugs, b)
 			continue
 		}
-		res := s.Check(cond)
+		var res solver.Result
+		if opts.Incremental {
+			res = s.CheckIn(cond)
+		} else {
+			res = s.Check(cond)
+		}
 		rep.Checks++
 		if res == solver.Sat {
 			b.Reachable = true
 			b.Model = s.Model()
+		}
+		if opts.Incremental {
+			s.Retract()
 		}
 		rep.Bugs = append(rep.Bugs, b)
 	}

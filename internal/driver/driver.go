@@ -43,6 +43,14 @@ type Config struct {
 	// Evaluation-preserving, so verdicts are identical either way (opt out
 	// with -rewrite=off to cross-check).
 	Rewrite bool
+	// Incremental makes the bug-check solver persistent across all of a
+	// slice's checks: each bug condition is asserted inside a retractable
+	// activation scope so learned clauses survive check-to-check,
+	// structural gate hashing shares CNF between checks' shared term DAGs,
+	// and bounded inprocessing between checks cleans out retracted-scope
+	// clauses. Verdicts and inferred annotations are identical either way
+	// (opt out with -incremental=off to cross-check).
+	Incremental bool
 	// Workers bounds the per-instance inference fan-out (cmd/bf4's -j);
 	// <= 0 means GOMAXPROCS. It overrides Infer.Workers when set. The
 	// results are identical for every value — only wall-clock changes.
@@ -59,7 +67,7 @@ type Config struct {
 
 // DefaultConfig matches the paper's configuration.
 func DefaultConfig() Config {
-	return Config{IR: ir.DefaultOptions(), Infer: infer.DefaultOptions(), Slicing: true, Analysis: true, Rewrite: true}
+	return Config{IR: ir.DefaultOptions(), Infer: infer.DefaultOptions(), Slicing: true, Analysis: true, Rewrite: true, Incremental: true}
 }
 
 // Result is one full bf4 run over a program (one Table 1 row).
@@ -123,13 +131,15 @@ func Run(name, src string, cfg Config) (*Result, error) {
 	}
 	res.Initial = pl
 	findBugs := func(pl *core.Pipeline, parent *obs.Span) (*core.Report, *analysis.Result) {
+		opts := core.FindOptions{Obs: cfg.Obs, Trace: parent, Incremental: cfg.Incremental}
 		if !cfg.Analysis {
-			return pl.FindBugsObs(nil, cfg.Obs, parent), nil
+			return pl.FindBugsWith(opts), nil
 		}
 		_, done := obs.StartPhase(cfg.Obs, parent, "analysis")
 		ar := analysis.Run(pl.IR, pl.AST)
 		done()
-		return pl.FindBugsObs(ar.Discharge, cfg.Obs, parent), ar
+		opts.Skip = ar.Discharge
+		return pl.FindBugsWith(opts), ar
 	}
 	rep, ar := findBugs(pl, cfg.Trace)
 	res.Analysis = ar

@@ -58,7 +58,7 @@ type Table1Row struct {
 // Runtime column is load-dependent. switchScale overrides the generated
 // switch's scale (0 = skip switch, for quick runs).
 func Table1(switchScale, workers int) ([]Table1Row, error) {
-	rows, _, err := table1(switchScale, workers, false)
+	rows, _, err := table1(switchScale, workers, false, nil)
 	return rows, err
 }
 
@@ -79,6 +79,13 @@ type Table1Metrics struct {
 	InferCalls    int64
 	Discharged    int64 // analysis + fold pre-discharges
 	PoolInferRuns int64 // instances handed to the infer pool
+	// Incremental-core counters (0 when -incremental=off): structural
+	// gate-hash hits in the bit-blaster, inprocessing passes, and what
+	// those passes removed from the clause database.
+	GateHits      int64
+	Inprocessings int64
+	InprocDeleted int64
+	InprocElim    int64
 }
 
 // Table1WithMetrics is Table1 plus a per-program metric summary gathered
@@ -86,10 +93,20 @@ type Table1Metrics struct {
 // byte-identical to Table1's — the observability contract — which CI
 // enforces by diffing the table1 section with -metrics on and off.
 func Table1WithMetrics(switchScale, workers int) ([]Table1Row, []Table1Metrics, error) {
-	return table1(switchScale, workers, true)
+	return table1(switchScale, workers, true, nil)
 }
 
-func table1(switchScale, workers int, withMetrics bool) ([]Table1Row, []Table1Metrics, error) {
+// Table1Incremental is Table1WithMetrics with the incremental solver
+// core pinned on or off (instead of the driver default). The Table1Row
+// values must be identical either way — incremental mode changes solver
+// effort, never verdicts — which the bench-trajectory CI job enforces by
+// diffing the stable renderings; the metrics (conflicts, propagations,
+// CNF size) are what the two BENCH_table1.json artifacts compare.
+func Table1Incremental(switchScale, workers int, incremental bool) ([]Table1Row, []Table1Metrics, error) {
+	return table1(switchScale, workers, true, func(cfg *driver.Config) { cfg.Incremental = incremental })
+}
+
+func table1(switchScale, workers int, withMetrics bool, mutate func(*driver.Config)) ([]Table1Row, []Table1Metrics, error) {
 	type job struct{ name, src string }
 	var jobs []job
 	for _, p := range progs.All() {
@@ -108,6 +125,9 @@ func table1(switchScale, workers int, withMetrics bool) ([]Table1Row, []Table1Me
 	}
 	outs, err := pool.MapErr(workers, len(jobs), func(i int) (out, error) {
 		cfg := driver.DefaultConfig()
+		if mutate != nil {
+			mutate(&cfg)
+		}
 		var reg *obs.Registry
 		if withMetrics {
 			reg = obs.NewRegistry()
@@ -141,6 +161,10 @@ func table1(switchScale, workers int, withMetrics bool) ([]Table1Row, []Table1Me
 				Discharged: reg.CounterValue("bf4_core_discharged_analysis_total") +
 					reg.CounterValue("bf4_core_discharged_fold_total"),
 				PoolInferRuns: reg.CounterValue("bf4_pool_infer_tasks_total"),
+				GateHits:      reg.CounterValue("bf4_solver_gate_hits_total"),
+				Inprocessings: reg.CounterValue("bf4_solver_inprocessings_total"),
+				InprocDeleted: reg.CounterValue("bf4_solver_inprocess_deleted_total"),
+				InprocElim:    reg.CounterValue("bf4_solver_inprocess_elim_vars_total"),
 			}
 		}
 		return o, nil

@@ -1,0 +1,225 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInprocessSubsumption(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	for _, v := range []Var{a, b, c} {
+		s.Freeze(v)
+	}
+	s.AddClause(MkLit(a, false), MkLit(b, false))                  // subsumer
+	s.AddClause(MkLit(a, false), MkLit(b, false), MkLit(c, false)) // subsumed
+	res := s.Inprocess(InprocessOptions{})
+	if res.Subsumed != 1 {
+		t.Fatalf("Subsumed = %d, want 1", res.Subsumed)
+	}
+	if s.NumClauses() != 1 {
+		t.Fatalf("NumClauses = %d, want 1", s.NumClauses())
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("after subsumption: got %v, want Sat", got)
+	}
+}
+
+func TestInprocessSelfSubsumingResolution(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	for _, v := range []Var{a, b, c} {
+		s.Freeze(v)
+	}
+	s.AddClause(MkLit(a, false), MkLit(b, false))                 // (a ∨ b)
+	s.AddClause(MkLit(a, true), MkLit(b, false), MkLit(c, false)) // (¬a ∨ b ∨ c) → (b ∨ c)
+	res := s.Inprocess(InprocessOptions{})
+	if res.Strengthened < 1 {
+		t.Fatalf("Strengthened = %d, want >= 1", res.Strengthened)
+	}
+	// The strengthened problem set must still behave like the original:
+	// ¬b forces a (from clause 1) and c (from the strengthened clause 2).
+	if got := s.Solve(MkLit(b, true)); got != Sat {
+		t.Fatalf("got %v, want Sat", got)
+	}
+	if !s.Value(a) || !s.Value(c) {
+		t.Fatalf("under ¬b want a=true c=true, got a=%v c=%v", s.Value(a), s.Value(c))
+	}
+}
+
+func TestInprocessVariableElimination(t *testing.T) {
+	s := New()
+	a, x, y := s.NewVar(), s.NewVar(), s.NewVar()
+	s.Freeze(x)
+	s.Freeze(y)
+	s.AddClause(MkLit(a, false), MkLit(x, false)) // (a ∨ x)
+	s.AddClause(MkLit(a, true), MkLit(y, false))  // (¬a ∨ y)
+	res := s.Inprocess(InprocessOptions{})
+	if len(res.Eliminated) != 1 || res.Eliminated[0] != a {
+		t.Fatalf("Eliminated = %v, want [%d]", res.Eliminated, a)
+	}
+	if !s.IsEliminated(a) {
+		t.Fatalf("IsEliminated(a) = false")
+	}
+	if s.NumClauses() != 1 {
+		t.Fatalf("NumClauses = %d, want 1 (the resolvent x ∨ y)", s.NumClauses())
+	}
+	// ¬x must still force y via the resolvent.
+	if got := s.Solve(MkLit(x, true)); got != Sat {
+		t.Fatalf("got %v, want Sat", got)
+	}
+	if !s.Value(y) {
+		t.Fatalf("under ¬x want y=true")
+	}
+	// The reconstructed model must satisfy the original clauses too:
+	// with x=false, (a ∨ x) forces a=true.
+	if !s.Value(a) {
+		t.Fatalf("reconstructed model must set a=true to satisfy (a ∨ x) under ¬x")
+	}
+}
+
+func TestInprocessFrozenNotEliminated(t *testing.T) {
+	s := New()
+	a, x, y := s.NewVar(), s.NewVar(), s.NewVar()
+	for _, v := range []Var{a, x, y} {
+		s.Freeze(v)
+	}
+	s.AddClause(MkLit(a, false), MkLit(x, false))
+	s.AddClause(MkLit(a, true), MkLit(y, false))
+	res := s.Inprocess(InprocessOptions{})
+	if len(res.Eliminated) != 0 {
+		t.Fatalf("Eliminated = %v, want none (all vars frozen)", res.Eliminated)
+	}
+	if s.NumClauses() != 2 {
+		t.Fatalf("NumClauses = %d, want 2", s.NumClauses())
+	}
+}
+
+// TestInprocessRetractedScope models the solver-layer scope lifecycle: a
+// retracted activation scope asserts ¬act at level 0, and the next
+// Inprocess pass must clean every guard clause of that scope out of the
+// database while leaving the solver sound.
+func TestInprocessRetractedScope(t *testing.T) {
+	s := New()
+	act, x, y := s.NewVar(), s.NewVar(), s.NewVar()
+	for _, v := range []Var{act, x, y} {
+		s.Freeze(v)
+	}
+	// Scoped assertions: act → x, act → ¬y.
+	s.AddClause(MkLit(act, true), MkLit(x, false))
+	s.AddClause(MkLit(act, true), MkLit(y, true))
+	if got := s.Solve(MkLit(act, false)); got != Sat {
+		t.Fatalf("inside scope: got %v, want Sat", got)
+	}
+	if !s.Value(x) || s.Value(y) {
+		t.Fatalf("inside scope want x=true y=false")
+	}
+	// Retract: ¬act becomes a level-0 fact.
+	s.AddClause(MkLit(act, true))
+	res := s.Inprocess(InprocessOptions{})
+	if res.Deleted != 2 {
+		t.Fatalf("Deleted = %d, want 2 (both guard clauses satisfied by ¬act)", res.Deleted)
+	}
+	if s.NumClauses() != 0 {
+		t.Fatalf("NumClauses = %d, want 0", s.NumClauses())
+	}
+	// x and y are unconstrained again.
+	if got := s.Solve(MkLit(x, true), MkLit(y, false)); got != Sat {
+		t.Fatalf("after retract: got %v, want Sat", got)
+	}
+}
+
+// inprocessTrial adds the same random CNF to a plain reference solver and
+// to a solver that interleaves Inprocess passes, then compares Solve
+// results under random assumptions over frozen variables and checks that
+// the (reconstructed) model satisfies every original clause.
+func inprocessTrial(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	nVars := 4 + rng.Intn(12)
+	s, ref := New(), New()
+	var frozen []Var
+	for i := 0; i < nVars; i++ {
+		v := s.NewVar()
+		ref.NewVar()
+		if rng.Intn(2) == 0 {
+			s.Freeze(v)
+			frozen = append(frozen, v)
+		}
+	}
+	var all [][]Lit
+	addBatch := func(vars []Var, n int) {
+		for i := 0; i < n; i++ {
+			k := 1 + rng.Intn(3)
+			var cl []Lit
+			for j := 0; j < k; j++ {
+				cl = append(cl, MkLit(vars[rng.Intn(len(vars))], rng.Intn(2) == 0))
+			}
+			all = append(all, cl)
+			s.AddClause(cl...)
+			ref.AddClause(cl...)
+		}
+	}
+	allVars := make([]Var, nVars)
+	for i := range allVars {
+		allVars[i] = Var(i)
+	}
+	batches := 1 + rng.Intn(3)
+	for b := 0; b < batches; b++ {
+		if b == 0 {
+			addBatch(allVars, 5+rng.Intn(25))
+		} else if len(frozen) > 0 {
+			// After inprocessing, only frozen variables may be mentioned.
+			addBatch(frozen, rng.Intn(8))
+		}
+		var assumptions []Lit
+		for _, v := range frozen {
+			if rng.Intn(3) == 0 {
+				assumptions = append(assumptions, MkLit(v, rng.Intn(2) == 0))
+			}
+		}
+		got, want := s.Solve(assumptions...), ref.Solve(assumptions...)
+		if got != want {
+			t.Fatalf("seed %d batch %d: inprocessed solver %v, reference %v (assumptions %v)",
+				seed, b, got, want, assumptions)
+		}
+		if got == Sat {
+			for _, cl := range all {
+				ok := false
+				for _, l := range cl {
+					if s.ValueLit(l) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("seed %d batch %d: reconstructed model violates clause %v", seed, b, cl)
+				}
+			}
+		}
+		res := s.Inprocess(InprocessOptions{})
+		for _, v := range res.Eliminated {
+			if s.Frozen(v) {
+				t.Fatalf("seed %d: frozen var %d eliminated", seed, v)
+			}
+		}
+	}
+}
+
+func TestInprocessEquivalenceRandom(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		inprocessTrial(t, seed)
+	}
+}
+
+// FuzzInprocess drives the same equivalence property from fuzzed seeds:
+// interleaving Inprocess passes (with frozen literals protected) must
+// never change a Solve verdict, and reconstructed models must satisfy the
+// original clause set.
+func FuzzInprocess(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(1 << 30))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		inprocessTrial(t, seed)
+	})
+}

@@ -1,0 +1,94 @@
+// Incremental mode: one persistent solver serves every bug check of a
+// CFG slice. Each check runs inside a retractable activation scope
+// (CheckIn/Retract), so learned clauses survive from check to check;
+// structural gate hashing in the bit-blaster emits shared CNF for shared
+// term DAGs once per slice; and bounded inprocessing between checks
+// cleans out the clauses of retracted scopes, with every externally
+// visible literal frozen (the bit-blaster freezes all term-memo roots,
+// which covers activation literals and assumption roots).
+//
+// Incremental mode changes which CNF the solver sees, never what a check
+// means: verdicts with -incremental=on and off are byte-identical on the
+// full corpus, which the driver's identity harness enforces the same way
+// it does for -analysis and -rewrite.
+
+package solver
+
+import (
+	"bf4/internal/sat"
+	"bf4/internal/smt"
+)
+
+// SetIncremental toggles incremental mode on this solver: structural
+// gate hashing in the bit-blaster, guard-clause scope assertions, and
+// bounded inprocessing after every Retract (the pass is cheap — one
+// occurrence-list sweep over a database that shrinks as it runs — and
+// deferring it measurably costs later checks propagation work on dead
+// guard clauses). Call it before the first Assert; circuitry already
+// emitted is not retroactively shared.
+func (s *Solver) SetIncremental(on bool) {
+	s.incremental = on
+	s.ctx.SetStructHash(on)
+	if on && s.inprocEvery == 0 {
+		s.inprocEvery = 1
+	}
+}
+
+// Incremental reports whether incremental mode is on.
+func (s *Solver) Incremental() bool { return s.incremental }
+
+// CheckIn opens a retractable scope, asserts cond inside it, and checks
+// satisfiability. The scope is left open so the caller can read Model or
+// UnsatCore against it; Retract closes it. The scope lives in the
+// solver's own state between the two calls, which is what lets one
+// persistent solver interleave check, model extraction, and retraction
+// across a whole slice's bug list.
+func (s *Solver) CheckIn(cond *smt.Term) Result {
+	s.Push()
+	s.Assert(cond)
+	return s.Check()
+}
+
+// Retract closes the scope opened by the most recent CheckIn. On an
+// incremental solver it periodically runs bounded inprocessing, which
+// deletes the now-satisfied guard clauses of retracted scopes and
+// strengthens learned clauses that mention dead activation literals down
+// to their scope-independent content.
+func (s *Solver) Retract() {
+	s.Pop()
+	s.scopedChecks++
+	if s.incremental && s.inprocEvery > 0 && s.scopedChecks%s.inprocEvery == 0 {
+		s.Inprocess()
+	}
+}
+
+// CheckScoped checks cond inside a retractable activation scope when the
+// solver is incremental, falling back to an assumption-based Check
+// otherwise. Both paths leave the model and unsat core readable; the
+// scoped path additionally lets learned clauses that mention cond's
+// circuitry persist for later checks.
+func (s *Solver) CheckScoped(cond *smt.Term) Result {
+	if !s.incremental {
+		return s.Check(cond)
+	}
+	res := s.CheckIn(cond)
+	s.Retract()
+	return res
+}
+
+// Inprocess runs one bounded inprocessing pass over the SAT clause
+// database and purges bit-blaster gate-memo entries that mention
+// eliminated variables (their defining clauses are gone, so their
+// outputs must never be reused). Safe to call between any two checks; it
+// is a no-op on an unsat database.
+func (s *Solver) Inprocess() sat.InprocessResult {
+	res := s.sat.Inprocess(sat.InprocessOptions{})
+	s.ctx.ForgetEliminated(res.Eliminated)
+	h := &s.hooks
+	h.inprocessings.Inc()
+	h.inprocDeleted.Add(int64(res.Deleted))
+	h.inprocSubsumed.Add(int64(res.Subsumed))
+	h.inprocStrengthened.Add(int64(res.Strengthened))
+	h.inprocElimVars.Add(int64(len(res.Eliminated)))
+	return res
+}

@@ -66,6 +66,14 @@ type Solver struct {
 	// permanently asserts the negation).
 	scopes   []*smt.Term
 	scopeSeq int
+
+	// incremental enables the persistent-solver features (structural gate
+	// hashing, guarded scope assertions, periodic inprocessing). See
+	// SetIncremental.
+	incremental  bool
+	scopedChecks int
+	inprocEvery  int
+	lastGateHits int64
 }
 
 // CheckStats describes one Check call in isolation: every field is a
@@ -94,6 +102,9 @@ type obsHooks struct {
 	learned, blastNs, searchNs                   *obs.Counter
 	checkConflicts, checkNs                      *obs.Histogram
 	cnfVars, cnfClauses                          *obs.Gauge
+
+	inprocessings, inprocDeleted, inprocSubsumed *obs.Counter
+	inprocStrengthened, inprocElimVars, gateHits *obs.Counter
 }
 
 // SetObs installs a metrics registry: every subsequent Check records its
@@ -121,6 +132,13 @@ func (s *Solver) SetObs(reg *obs.Registry) {
 		checkNs:        reg.Histogram("bf4_solver_check_ns", obs.DurationBuckets),
 		cnfVars:        reg.Gauge("bf4_solver_cnf_vars"),
 		cnfClauses:     reg.Gauge("bf4_solver_cnf_clauses"),
+
+		inprocessings:      reg.Counter("bf4_solver_inprocessings_total"),
+		inprocDeleted:      reg.Counter("bf4_solver_inprocess_deleted_total"),
+		inprocSubsumed:     reg.Counter("bf4_solver_inprocess_subsumed_total"),
+		inprocStrengthened: reg.Counter("bf4_solver_inprocess_strengthened_total"),
+		inprocElimVars:     reg.Counter("bf4_solver_inprocess_elim_vars_total"),
+		gateHits:           reg.Counter("bf4_solver_gate_hits_total"),
 	}
 }
 
@@ -186,6 +204,16 @@ func (s *Solver) registerVars(t *smt.Term) {
 // scope is open, otherwise until the innermost scope is popped.
 func (s *Solver) Assert(t *smt.Term) {
 	if n := len(s.scopes); n > 0 {
+		if s.incremental {
+			// Emit direct guard clauses (¬act ∨ conjunct) instead of a
+			// Tseitin implication gate: when Retract asserts ¬act, every
+			// guard clause is satisfied outright and the next inprocessing
+			// pass deletes it, instead of leaving dead gate circuitry.
+			rt := s.Simplify(t)
+			s.registerVars(rt)
+			s.ctx.AssertImplied(s.scopes[n-1], rt)
+			return
+		}
 		// Guard with the innermost activation literal. Scopes pop LIFO,
 		// so when an outer scope dies every inner one is already dead;
 		// guarding with one literal is enough.
@@ -323,6 +351,10 @@ func (s *Solver) recordCheck() {
 	h.checkNs.Observe(s.lastCheck.BlastTime.Nanoseconds() + s.lastCheck.SearchTime.Nanoseconds())
 	h.cnfVars.Set(int64(s.sat.NumVars()))
 	h.cnfClauses.Set(int64(s.sat.NumClauses()))
+	if gh := s.ctx.GateHits(); gh != s.lastGateHits {
+		h.gateHits.Add(gh - s.lastGateHits)
+		s.lastGateHits = gh
+	}
 }
 
 // LastCheckStats returns the per-query statistics of the most recent

@@ -12,6 +12,18 @@
 //     path-sensitive CFG;
 //   - a Pop with no open scope is flagged immediately.
 //
+// Persistent solvers deliberately hold a scope open across method calls:
+// the incremental core's CheckIn opens a scope that lives in the solver's
+// own state until Retract closes it, so neither method balances on its
+// own. To model that lifetime, a Push/Pop whose selector chain is rooted
+// at the enclosing method's receiver (s.Push(), re.s.Pop(), including
+// inside closures defined in the method) is exempt from the per-function
+// rules and instead summed into a per-receiver-type ledger across all of
+// that type's methods in the package. A type whose ledger does not net
+// to zero — receiver-held Pushes without a peer method that Pops, or
+// vice versa — is reported: the scope has no closer at all, which is a
+// genuine leak rather than a deferred one.
+//
 // It is deliberately stdlib-only (go/ast + go/parser) so it runs in CI
 // as `go run ./tools/analyzers/solvercheck .` with no external analysis
 // framework. Method calls whose receiver is an imported package
@@ -27,6 +39,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -58,8 +71,7 @@ func main() {
 }
 
 func checkDir(root string) ([]finding, error) {
-	var findings []finding
-	fset := token.NewFileSet()
+	c := newChecker(token.NewFileSet())
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -77,30 +89,46 @@ func checkDir(root string) ([]finding, error) {
 		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 			return nil
 		}
-		file, err := parser.ParseFile(fset, path, nil, 0)
+		file, err := parser.ParseFile(c.fset, path, nil, 0)
 		if err != nil {
 			return fmt.Errorf("parse %s: %w", path, err)
 		}
-		findings = append(findings, checkFile(fset, file)...)
+		c.checkFile(file, filepath.Dir(path))
 		return nil
 	})
-	return findings, err
+	if err != nil {
+		return nil, err
+	}
+	c.finish()
+	return c.findings, nil
 }
 
 // checkSrc analyzes a single source text (test helper).
 func checkSrc(src string) ([]finding, error) {
-	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, "src.go", src, 0)
+	c := newChecker(token.NewFileSet())
+	file, err := parser.ParseFile(c.fset, "src.go", src, 0)
 	if err != nil {
 		return nil, err
 	}
-	return checkFile(fset, file), nil
+	c.checkFile(file, "")
+	c.finish()
+	return c.findings, nil
 }
 
-func checkFile(fset *token.FileSet, file *ast.File) []finding {
+// funcCtx is one function body to analyze, together with the method
+// receiver it can see: FuncDecl methods carry their own receiver, and
+// closures defined inside a method inherit it (the captured receiver
+// still names the same long-lived struct).
+type funcCtx struct {
+	body     *ast.BlockStmt
+	recvName string // receiver identifier, "" for plain functions
+	recvType string // receiver type name, "" for plain functions
+}
+
+func (c *checker) checkFile(file *ast.File, dir string) {
 	// Imported package names: a call heap.Push(...) is a package function,
 	// not a solver scope.
-	pkgs := map[string]bool{}
+	c.pkgs = map[string]bool{}
 	for _, imp := range file.Imports {
 		p, err := strconv.Unquote(imp.Path.Value)
 		if err != nil {
@@ -113,57 +141,182 @@ func checkFile(fset *token.FileSet, file *ast.File) []finding {
 		if imp.Name != nil {
 			name = imp.Name.Name
 		}
-		pkgs[name] = true
+		c.pkgs[name] = true
 	}
-	c := &checker{fset: fset, pkgs: pkgs}
 
 	// Analyze every function body independently, including literals.
-	var bodies []*ast.BlockStmt
-	ast.Inspect(file, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.FuncDecl:
-			if x.Body != nil {
-				bodies = append(bodies, x.Body)
+	// Literals nested in a method share the method's receiver context.
+	var ctxs []funcCtx
+	collectLits := func(root ast.Node, recvName, recvType string) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				ctxs = append(ctxs, funcCtx{lit.Body, recvName, recvType})
 			}
-		case *ast.FuncLit:
-			bodies = append(bodies, x.Body)
-		}
-		return true
-	})
-	for _, b := range bodies {
-		c.checkBody(b)
+			return true
+		})
 	}
-	return c.findings
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			collectLits(decl, "", "")
+			continue
+		}
+		if fd.Body == nil {
+			continue
+		}
+		recvName, recvType := receiverOf(fd)
+		ctxs = append(ctxs, funcCtx{fd.Body, recvName, recvType})
+		collectLits(fd.Body, recvName, recvType)
+	}
+	for _, fc := range ctxs {
+		c.recvName, c.recvType = fc.recvName, fc.recvType
+		c.typeKey = dir + "." + fc.recvType
+		c.checkBody(fc.body)
+	}
+}
+
+// receiverOf returns the receiver identifier and base type name of a
+// method declaration ("", "" for plain functions or unnamed receivers).
+func receiverOf(fd *ast.FuncDecl) (name, typeName string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	f := fd.Recv.List[0]
+	if len(f.Names) != 1 || f.Names[0].Name == "_" {
+		return "", ""
+	}
+	t := f.Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		return f.Names[0].Name, x.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := x.X.(*ast.Ident); ok {
+			return f.Names[0].Name, id.Name
+		}
+	case *ast.IndexListExpr: // generic receiver T[P1, P2]
+		if id, ok := x.X.(*ast.Ident); ok {
+			return f.Names[0].Name, id.Name
+		}
+	}
+	return "", ""
+}
+
+// typeLedger accumulates receiver-held scope traffic for one receiver
+// type across every method of that type in the package.
+type typeLedger struct {
+	typeName string
+	net      int
+	pushPos  token.Pos // first receiver-held Push, for reporting leaks
+	popPos   token.Pos // first receiver-held Pop, for reporting over-pops
 }
 
 type checker struct {
 	fset     *token.FileSet
 	pkgs     map[string]bool
 	findings []finding
+
+	// Per-body receiver context, set by checkFile before each checkBody.
+	recvName string
+	recvType string
+	typeKey  string // package dir + receiver type, the ledger key
+
+	ledgers map[string]*typeLedger
+}
+
+func newChecker(fset *token.FileSet) *checker {
+	return &checker{fset: fset, ledgers: map[string]*typeLedger{}}
 }
 
 func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
 	c.findings = append(c.findings, finding{c.fset.Position(pos), fmt.Sprintf(format, args...)})
 }
 
+// ledgerAdd records a receiver-held Push (+1) or Pop (-1) against the
+// current receiver type.
+func (c *checker) ledgerAdd(kind string, pos token.Pos) {
+	l := c.ledgers[c.typeKey]
+	if l == nil {
+		l = &typeLedger{typeName: c.recvType}
+		c.ledgers[c.typeKey] = l
+	}
+	if kind == "Push" {
+		l.net++
+		if l.pushPos == token.NoPos {
+			l.pushPos = pos
+		}
+	} else {
+		l.net--
+		if l.popPos == token.NoPos {
+			l.popPos = pos
+		}
+	}
+}
+
+// finish reports every receiver type whose methods' summed Push/Pop
+// traffic does not net to zero: a persistent scope with no closer.
+func (c *checker) finish() {
+	keys := make([]string, 0, len(c.ledgers))
+	for k := range c.ledgers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		l := c.ledgers[k]
+		switch {
+		case l.net > 0:
+			c.report(l.pushPos,
+				"methods of %s leak %d receiver-held solver scope(s): no peer method Pops what they Push",
+				l.typeName, l.net)
+		case l.net < 0:
+			c.report(l.popPos,
+				"methods of %s Pop %d more receiver-held solver scope(s) than they Push",
+				l.typeName, -l.net)
+		}
+	}
+}
+
 // scopeCall classifies e as a solver Push/Pop call: a niladic method call
 // x.Push() / x.Pop() whose receiver is not an imported package name.
-func (c *checker) scopeCall(e ast.Expr) (string, bool) {
-	call, ok := e.(*ast.CallExpr)
-	if !ok || len(call.Args) != 0 {
-		return "", false
+// receiverHeld reports whether the call's selector chain is rooted at
+// the enclosing method's receiver (s.Push(), re.s.Pop()), meaning the
+// scope lives in the receiver's state rather than the function frame.
+func (c *checker) scopeCall(e ast.Expr) (kind string, receiverHeld, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", false, false
 	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", false
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
 	}
 	if sel.Sel.Name != "Push" && sel.Sel.Name != "Pop" {
-		return "", false
+		return "", false, false
 	}
-	if id, ok := sel.X.(*ast.Ident); ok && c.pkgs[id.Name] {
-		return "", false
+	if id, isID := sel.X.(*ast.Ident); isID && c.pkgs[id.Name] {
+		return "", false, false
 	}
-	return sel.Sel.Name, true
+	root := rootIdent(sel.X)
+	held := root != nil && c.recvName != "" && root.Name == c.recvName
+	return sel.Sel.Name, held, true
+}
+
+// rootIdent walks a selector chain (re.s.sub) down to its base
+// identifier, or nil if the chain is rooted elsewhere (a call, an index
+// expression, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
 }
 
 // checkBody verifies one function body. Nested function literals are
@@ -197,21 +350,26 @@ func (c *checker) scanBlock(b *ast.BlockStmt, bal, defers int, top bool) (int, i
 func (c *checker) scanStmt(s ast.Stmt, bal, defers int) (int, int) {
 	switch x := s.(type) {
 	case *ast.ExprStmt:
-		if kind, ok := c.scopeCall(x.X); ok {
-			if kind == "Push" {
+		if kind, held, ok := c.scopeCall(x.X); ok {
+			switch {
+			case held:
+				c.ledgerAdd(kind, x.Pos())
+			case kind == "Push":
 				bal++
-			} else {
-				if bal-defers <= 0 {
-					c.report(x.Pos(), "Pop without matching Push")
-				} else {
-					bal--
-				}
+			case bal-defers <= 0:
+				c.report(x.Pos(), "Pop without matching Push")
+			default:
+				bal--
 			}
 		}
 	case *ast.DeferStmt:
 		if sel, ok := x.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Pop" && len(x.Call.Args) == 0 {
 			if id, isID := sel.X.(*ast.Ident); !isID || !c.pkgs[id.Name] {
-				defers++
+				if root := rootIdent(sel.X); root != nil && c.recvName != "" && root.Name == c.recvName {
+					c.ledgerAdd("Pop", x.Pos())
+				} else {
+					defers++
+				}
 			}
 		}
 	case *ast.ReturnStmt:

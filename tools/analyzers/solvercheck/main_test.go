@@ -144,3 +144,106 @@ func f(s *S) {
 	s.Pop()
 }`, "Pop without matching Push")
 }
+
+// --- persistent-solver lifetime: receiver-held scopes ---
+
+func TestReceiverScopeBalancedAcrossMethods(t *testing.T) {
+	// The incremental-core shape: CheckIn leaves a scope open in the
+	// solver's own state, Retract closes it. Neither method balances on
+	// its own; the per-type ledger does.
+	wantClean(t, `
+func (s *Solver) CheckIn(cond T) Result {
+	s.Push()
+	s.Assert(cond)
+	return s.Check()
+}
+
+func (s *Solver) Retract() {
+	s.Pop()
+}`)
+}
+
+func TestReceiverScopeLeakAcrossMethods(t *testing.T) {
+	// A receiver-held Push with no peer method that Pops is a genuine
+	// leak, not a deferred close.
+	wantFinding(t, `
+func (s *Solver) Open() {
+	s.Push()
+}`, "leak 1 receiver-held solver scope")
+}
+
+func TestReceiverScopeOverPop(t *testing.T) {
+	wantFinding(t, `
+func (s *Solver) Close() {
+	s.Pop()
+}`, "Pop 1 more receiver-held solver scope")
+}
+
+func TestReceiverChainRootedScope(t *testing.T) {
+	// re.s.Push() is rooted at the receiver re: the scope lives in the
+	// struct re points at, so it joins re's type ledger.
+	wantClean(t, `
+func (re *rechecker) open(c T) {
+	re.s.Push()
+	re.s.Assert(c)
+}
+
+func (re *rechecker) close() {
+	re.s.Pop()
+}`)
+}
+
+func TestReceiverLedgerSeparatesTypes(t *testing.T) {
+	// Opener's Push must not be cancelled by Closer's Pop: the ledgers
+	// are per receiver type.
+	fs := run(t, `
+func (a *Opener) Open() {
+	a.Push()
+}
+
+func (b *Closer) Close() {
+	b.Pop()
+}`)
+	if len(fs) != 2 {
+		t.Fatalf("expected 2 findings (one per type), got %v", fs)
+	}
+}
+
+func TestLocalSolverInMethodStillChecked(t *testing.T) {
+	// A scope on a local variable inside a method keeps the strict
+	// per-function rules: only receiver-held scopes use the ledger.
+	wantFinding(t, `
+func (s *Solver) audit(c T) {
+	probe := New()
+	probe.Push()
+	probe.Assert(c)
+}`, "unpopped solver scope")
+}
+
+func TestClosureInMethodSharesReceiverLedger(t *testing.T) {
+	// A closure defined in a method captures the receiver; its
+	// receiver-held Push joins the type ledger and is balanced by a
+	// peer method's Pop.
+	wantClean(t, `
+func (s *Solver) openLater() func() {
+	return func() {
+		s.Push()
+	}
+}
+
+func (s *Solver) Retract() {
+	s.Pop()
+}`)
+}
+
+func TestDeferredReceiverPopJoinsLedger(t *testing.T) {
+	wantClean(t, `
+func (s *Solver) Open() {
+	s.Push()
+}
+
+func (s *Solver) Close() {
+	defer s.Pop()
+	s.flush()
+}`)
+}
