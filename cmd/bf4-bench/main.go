@@ -7,6 +7,7 @@
 //	bf4-bench -run table1 [-switch-scale 16] [-j 4] [-stable] [-incremental on|off] [-json]
 //	bf4-bench -run rewrite [-json]
 //	bf4-bench -run incremental [-json]
+//	bf4-bench -run shimfleet [-json]
 //	bf4-bench -run slicing|infer|multitable|dontcare|p4v|vera|shim|overhead|stages
 //	bf4-bench -run all
 //
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		run         = flag.String("run", "all", "experiment: table1, discharge, rewrite, incremental, slicing, infer, multitable, dontcare, p4v, vera, shim, overhead, stages, all")
+		run         = flag.String("run", "all", "experiment: table1, discharge, rewrite, incremental, slicing, infer, multitable, dontcare, p4v, vera, shim, shimfleet, overhead, stages, all")
 		switchScale = flag.Int("switch-scale", 8, "generated switch scale for switch-based experiments")
 		updates     = flag.Int("updates", 2000, "controller updates for the shim experiment")
 		veraBudget  = flag.Duration("vera-budget", 20*time.Second, "budget for symbolic Vera exploration")
@@ -257,6 +258,30 @@ func main() {
 			r.PerAssertion.P50, r.PerAssertion.P90, r.PerAssertion.P99, r.PerAssertion.Max)
 		fmt.Printf("per-update:    p50=%s p90=%s p99=%s max=%s\n",
 			r.PerUpdate.P50, r.PerUpdate.P90, r.PerUpdate.P99, r.PerUpdate.Max)
+		return nil
+	})
+
+	dispatch("shimfleet", func() error {
+		r, err := experiments.ShimFleet(*switchScale, *updates)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d shards, %d updates/shard: %d applied, %d rejected, %d dedup hits\n",
+			r.Shards, r.UpdatesPerShard, r.UpdatesApplied, r.UpdatesRejected, r.DedupHits)
+		fmt.Printf("failover: %d restores, %d parked writes replayed, %d checkpoints, %d journal appends\n",
+			r.Restores, r.ReplayedBatches, r.Checkpoints, r.JournalAppends)
+		fmt.Printf("verify-once: %d compile for %d shards (%d cache hits)\n",
+			r.AnnotationCompiles, r.Shards, r.AnnotationHits)
+		if *jsonOut {
+			data, err := experiments.ShimFleetJSON(r)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile("BENCH_shimfleet.json", data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_shimfleet.json")
+		}
 		return nil
 	})
 

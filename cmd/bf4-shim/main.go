@@ -20,6 +20,14 @@
 // private listener: Prometheus text metrics at /metrics, the same
 // document as JSON at /metrics.json, and net/http/pprof profiling under
 // /debug/pprof/.
+//
+// With -shards the shim becomes a fleet service: one shadow-state shard
+// per listed switch id, all validating against one program compiled once
+// through the annotation cache. A supervisor restores crashed or wedged
+// shards from their per-shard snapshot+journal (subdirectories of
+// -state-dir); -on-shard-down picks what writes do meanwhile (reject
+// with a retryable error, or queue until restore). Requests route by
+// their "switch" field; the first listed shard is the default.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,7 +59,11 @@ func main() {
 		corpusName  = flag.String("corpus", "", "corpus program for packet injection")
 		switchScale = flag.Int("switch-scale", 0, "generated switch scale for packet injection")
 
-		stateDir     = flag.String("state-dir", "", "directory for crash-recovery state (snapshot + journal)")
+		stateDir     = flag.String("state-dir", "", "directory for crash-recovery state (snapshot + journal); in fleet mode each shard gets a subdirectory")
+		shards       = flag.String("shards", "", "comma-separated switch ids; non-empty runs the fleet service (one shadow-state shard per switch, program verified once)")
+		onShardDown  = flag.String("on-shard-down", "reject", "degraded mode while a shard restores: reject (fail fast, retryable) or queue (park writes until restore)")
+		healthIvl    = flag.Duration("health-interval", 250*time.Millisecond, "fleet supervisor health-check tick")
+		healthDl     = flag.Duration("health-deadline", 5*time.Second, "declare a shard wedged when one operation holds its lock this long")
 		maxConns     = flag.Int("max-conns", 0, "max concurrent controller connections (0 = unlimited)")
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
@@ -117,34 +130,63 @@ func main() {
 		fatalf("need -spec and/or a program (-program/-corpus/-switch-scale)")
 	}
 
-	sh, err := shim.New(file)
-	if err != nil {
-		fatalf("shim: %v", err)
-	}
-	var store *shim.Store
-	if *stateDir != "" {
-		store, err = shim.OpenStore(*stateDir)
-		if err != nil {
-			fatalf("state dir: %v", err)
-		}
-		if err := sh.AttachStore(store); err != nil {
-			fatalf("restore state: %v", err)
-		}
-		fmt.Printf("bf4-shim: shadow state restored from %s\n", *stateDir)
-	}
 	var reg *obs.Registry
 	if *obsAddr != "" {
 		reg = obs.NewRegistry()
-		sh.SetObs(reg)
 	}
 	srv := &p4runtime.Server{
-		Shim:          sh,
 		Prog:          prog,
 		ReadTimeout:   *readTimeout,
 		WriteTimeout:  *writeTimeout,
 		MaxFrameBytes: *maxFrame,
 		MaxConns:      *maxConns,
 		Obs:           reg,
+	}
+	var sh *shim.Shim
+	var store *shim.Store
+	var fleet *shim.Fleet
+	if ids := splitShards(*shards); len(ids) > 0 {
+		// Fleet mode: one shadow-state shard per switch, all validating
+		// against one compiled program (verified once via the annotation
+		// cache), supervised for crash/wedge failover.
+		mode, err := shim.ParseOnShardDown(*onShardDown)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fleet = shim.NewFleet(shim.FleetConfig{
+			StateRoot:      *stateDir,
+			OnShardDown:    mode,
+			HealthInterval: *healthIvl,
+			HealthDeadline: *healthDl,
+			Obs:            reg,
+		})
+		for _, id := range ids {
+			if _, err := fleet.AddShard(id, file); err != nil {
+				fatalf("shard %s: %v", id, err)
+			}
+		}
+		fleet.StartSupervisor()
+		srv.Fleet = fleet
+		srv.DefaultSwitch = ids[0]
+		fmt.Printf("bf4-shim: fleet of %d shards (%s mode, verify-once cache)\n", len(ids), mode)
+	} else {
+		var err error
+		sh, err = shim.New(file)
+		if err != nil {
+			fatalf("shim: %v", err)
+		}
+		if *stateDir != "" {
+			store, err = shim.OpenStore(*stateDir)
+			if err != nil {
+				fatalf("state dir: %v", err)
+			}
+			if err := sh.AttachStore(store); err != nil {
+				fatalf("restore state: %v", err)
+			}
+			fmt.Printf("bf4-shim: shadow state restored from %s\n", *stateDir)
+		}
+		sh.SetObs(reg)
+		srv.Shim = sh
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -181,6 +223,12 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "bf4-shim: forced shutdown: %v\n", err)
 		}
+		if fleet != nil {
+			// Stops the supervisor and checkpoints every healthy shard.
+			if err := fleet.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "bf4-shim: fleet close: %v\n", err)
+			}
+		}
 		if store != nil {
 			if err := sh.Checkpoint(); err != nil {
 				fmt.Fprintf(os.Stderr, "bf4-shim: final checkpoint: %v\n", err)
@@ -188,6 +236,18 @@ func main() {
 			store.Close()
 		}
 	}
+}
+
+// splitShards parses the -shards flag: comma-separated switch ids,
+// blanks ignored.
+func splitShards(s string) []string {
+	var ids []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }
 
 func fatalf(format string, args ...interface{}) {

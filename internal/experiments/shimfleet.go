@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"bf4/internal/driver"
+	"bf4/internal/obs"
+	"bf4/internal/progs"
+	"bf4/internal/shim"
+	"bf4/internal/spec"
+	"bf4/internal/trace"
+)
+
+// ShimFleetResult reports the fleet-shim experiment: a sharded shim
+// service driven through a deterministic update trace with scripted
+// shard kills and queued-write replay. Every field is a deterministic
+// counter — no wall-clock — so CI can diff the JSON artifact across
+// runs and machines.
+type ShimFleetResult struct {
+	Shards             int   `json:"shards"`
+	UpdatesPerShard    int   `json:"updates_per_shard"`
+	UpdatesApplied     int64 `json:"updates_applied"`
+	UpdatesRejected    int64 `json:"updates_rejected"`
+	DedupHits          int64 `json:"dedup_hits"`
+	Restores           int64 `json:"restores"`
+	ReplayedBatches    int64 `json:"replayed_batches"`
+	Checkpoints        int64 `json:"checkpoints"`
+	JournalAppends     int64 `json:"journal_appends"`
+	AnnotationCompiles int64 `json:"annotation_compiles"`
+	AnnotationHits     int64 `json:"annotation_cache_hits"`
+}
+
+// ShimFleet runs the fleet experiment: shards switches all running one
+// generated program (compiled once through the annotation cache), each
+// fed a deterministic per-shard trace of n updates with idempotency
+// keys. Every shard is killed and restored from its snapshot+journal
+// at two scripted points, each time with one write parked in the
+// degraded queue and replayed on restore; one in three applied keys is
+// retried to exercise the dedup window.
+func ShimFleet(scale, n int) (*ShimFleetResult, error) {
+	src := progs.GenerateSwitch(scale)
+	res, err := driver.Run("switch", src, driver.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	pl := res.Fixed
+	if pl == nil {
+		pl = res.Initial
+	}
+	file := spec.Build("switch", pl.IR, res.InitialRep, res.FinalInfer, res.Fixes.Special)
+
+	root, err := os.MkdirTemp("", "bf4-shimfleet-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	reg := obs.NewRegistry()
+	fleet := shim.NewFleet(shim.FleetConfig{
+		StateRoot:    root,
+		OnShardDown:  shim.DownQueue,
+		CompactEvery: 64,
+		NoSync:       true, // deterministic counters; skip per-record fsync
+		Obs:          reg,
+	})
+	defer fleet.Close()
+
+	const shards = 4
+	ids := make([]string, shards)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("sw%d", i)
+		if _, err := fleet.AddShard(ids[i], file); err != nil {
+			return nil, err
+		}
+	}
+
+	perShard := n / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	out := &ShimFleetResult{Shards: shards, UpdatesPerShard: perShard}
+	// No supervisor: kills and restores are scripted, so every counter
+	// below is a pure function of (scale, n).
+	killAt := []int{perShard / 3, 2 * perShard / 3}
+	for i, id := range ids {
+		sd := fleet.Shard(id)
+		gen := trace.NewGenerator(int64(i+1), file)
+		updates := gen.Updates(perShard)
+		for j, u := range updates {
+			for _, k := range killAt {
+				if j == k {
+					if err := killRestoreWithParkedWrite(fleet, sd, fmt.Sprintf("park-%s-%d", id, j), u); err != nil {
+						return nil, err
+					}
+				}
+			}
+			key := fmt.Sprintf("bench-%s:%d", id, j)
+			err := sd.ApplyWithKey(key, u)
+			if err != nil {
+				out.UpdatesRejected++
+			} else {
+				out.UpdatesApplied++
+			}
+			if j%3 == 0 {
+				// Idempotent retry: must return the recorded outcome
+				// without re-validating or double-applying.
+				if rerr := sd.ApplyWithKey(key, u); (rerr == nil) != (err == nil) {
+					return nil, fmt.Errorf("shimfleet: retry of %s changed outcome: %v vs %v", key, err, rerr)
+				}
+			}
+		}
+	}
+
+	out.DedupHits = reg.CounterValue("bf4_shim_dedup_hits_total")
+	out.Restores = reg.CounterValue("bf4_fleet_restores_total")
+	out.ReplayedBatches = reg.CounterValue("bf4_fleet_replayed_batches_total")
+	out.Checkpoints = reg.CounterValue("bf4_shim_checkpoints_total")
+	out.JournalAppends = reg.CounterValue("bf4_shim_journal_appends_total")
+	out.AnnotationCompiles = reg.CounterValue("bf4_fleet_annotation_compiles_total")
+	out.AnnotationHits = reg.CounterValue("bf4_fleet_annotation_cache_hits_total")
+
+	if out.AnnotationCompiles != 1 {
+		return nil, fmt.Errorf("shimfleet: %d annotation compiles for one program across %d shards, want 1",
+			out.AnnotationCompiles, shards)
+	}
+	if out.Restores != int64(shards*len(killAt)) {
+		return nil, fmt.Errorf("shimfleet: %d restores, want %d", out.Restores, shards*len(killAt))
+	}
+	if out.ReplayedBatches != out.Restores {
+		return nil, fmt.Errorf("shimfleet: %d replayed batches for %d restores, want one parked write per restore",
+			out.ReplayedBatches, out.Restores)
+	}
+	return out, nil
+}
+
+// killRestoreWithParkedWrite fences a shard, parks one write in the
+// degraded queue, then restores — the write must be replayed during the
+// restore drain, exactly once.
+func killRestoreWithParkedWrite(fleet *shim.Fleet, sd *shim.Shard, key string, u *shim.Update) error {
+	sd.Kill()
+	parked := make(chan error, 1)
+	go func() { parked <- sd.ApplyWithKey(key, u) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for sd.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shimfleet: write never parked on shard %s", sd.ID())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := fleet.RestoreNow(sd.ID()); err != nil {
+		return err
+	}
+	<-parked // outcome (applied or rejected) does not matter; delivery does
+	return nil
+}
+
+// ShimFleetJSON renders the result as the BENCH_shimfleet.json
+// artifact.
+func ShimFleetJSON(r *ShimFleetResult) ([]byte, error) {
+	doc := struct {
+		Experiment string           `json:"experiment"`
+		Result     *ShimFleetResult `json:"result"`
+	}{Experiment: "shimfleet", Result: r}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

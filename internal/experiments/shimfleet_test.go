@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestShimFleetSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: full loop + fleet trace")
+	}
+	r, err := ShimFleet(1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UpdatesApplied+r.UpdatesRejected != int64(r.Shards*r.UpdatesPerShard) {
+		t.Fatalf("applied %d + rejected %d != %d updates issued",
+			r.UpdatesApplied, r.UpdatesRejected, r.Shards*r.UpdatesPerShard)
+	}
+	if r.AnnotationCompiles != 1 || r.AnnotationHits != int64(r.Shards-1) {
+		t.Fatalf("verify-once broken: %d compiles, %d hits for %d shards",
+			r.AnnotationCompiles, r.AnnotationHits, r.Shards)
+	}
+	if r.DedupHits == 0 {
+		t.Fatal("retry loop never hit the dedup window")
+	}
+	if r.JournalAppends == 0 {
+		t.Fatal("no journal appends — persistence was not exercised")
+	}
+
+	// The artifact is a deterministic function of (scale, n): a second
+	// run must serialize byte-identically (the CI trajectory gate diffs
+	// exactly this).
+	r2, err := ShimFleet(1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ShimFleetJSON(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ShimFleetJSON(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("shimfleet not deterministic:\nrun1 %s\nrun2 %s", a, b)
+	}
+}

@@ -1,0 +1,107 @@
+package faultnet
+
+import (
+	"net"
+	"sync"
+)
+
+// Gate is a controllable two-way network partition. While cut, every
+// operation on gated connections fails (and the connections close, as a
+// real partition eventually surfaces to TCP), and gated dials are
+// refused. Heal lifts the partition; reconnects then succeed. Cut/Heal
+// are safe to call from a test goroutine while traffic is in flight —
+// that is the point.
+type Gate struct {
+	mu    sync.Mutex
+	cut   bool
+	conns map[net.Conn]bool
+}
+
+// NewGate builds a healed (open) gate.
+func NewGate() *Gate { return &Gate{conns: map[net.Conn]bool{}} }
+
+// Cut partitions the gate: tracked connections are closed and further
+// operations or dials fail until Heal.
+func (g *Gate) Cut() {
+	g.mu.Lock()
+	g.cut = true
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.conns = map[net.Conn]bool{}
+	g.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Heal lifts the partition.
+func (g *Gate) Heal() {
+	g.mu.Lock()
+	g.cut = false
+	g.mu.Unlock()
+}
+
+// IsCut reports whether the gate is currently partitioned.
+func (g *Gate) IsCut() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cut
+}
+
+// Wrap tracks a connection under the gate. If the gate is already cut
+// the connection is closed immediately.
+func (g *Gate) Wrap(c net.Conn) net.Conn {
+	gc := &gatedConn{Conn: c, g: g}
+	g.mu.Lock()
+	if g.cut {
+		g.mu.Unlock()
+		c.Close()
+		return gc
+	}
+	g.conns[c] = true
+	g.mu.Unlock()
+	return gc
+}
+
+// Dial connects through dial and gates the result; while cut it fails
+// without dialing.
+func (g *Gate) Dial(dial func() (net.Conn, error)) (net.Conn, error) {
+	if g.IsCut() {
+		return nil, errInjected{Drop}
+	}
+	c, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	return g.Wrap(c), nil
+}
+
+type gatedConn struct {
+	net.Conn
+	g *Gate
+}
+
+func (c *gatedConn) Read(p []byte) (int, error) {
+	if c.g.IsCut() {
+		c.Conn.Close()
+		return 0, errInjected{Drop}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *gatedConn) Write(p []byte) (int, error) {
+	if c.g.IsCut() {
+		c.Conn.Close()
+		return 0, errInjected{Drop}
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *gatedConn) Close() error {
+	c.g.mu.Lock()
+	delete(c.g.conns, c.Conn)
+	c.g.mu.Unlock()
+	return c.Conn.Close()
+}

@@ -1,0 +1,84 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// Proc supervises a child process for crash-injection tests: a shard
+// (or whole shim) run out-of-process so the test can deliver a real
+// SIGKILL mid-operation — no deferred cleanup, no flushed buffers,
+// exactly the crash the snapshot+journal recovery path claims to
+// survive.
+type Proc struct {
+	cmd *exec.Cmd
+
+	mu   sync.Mutex
+	done chan struct{}
+	werr error
+}
+
+// StartProc launches name with args. env entries are appended to the
+// parent environment; stdout/stderr may be nil to discard output.
+func StartProc(name string, args, env []string, stdout, stderr io.Writer) (*Proc, error) {
+	cmd := exec.Command(name, args...)
+	cmd.Env = append(os.Environ(), env...)
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("faultnet: start %s: %w", name, err)
+	}
+	p := &Proc{cmd: cmd, done: make(chan struct{})}
+	go func() {
+		err := cmd.Wait()
+		p.mu.Lock()
+		p.werr = err
+		p.mu.Unlock()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// Pid returns the child's process id.
+func (p *Proc) Pid() int { return p.cmd.Process.Pid }
+
+// Kill delivers SIGKILL — the child gets no chance to flush or clean
+// up — and waits for the process to be reaped.
+func (p *Proc) Kill() error {
+	err := p.cmd.Process.Kill()
+	<-p.done
+	if err != nil && !alreadyFinished(err) {
+		return err
+	}
+	return nil
+}
+
+// Signal sends sig to the child.
+func (p *Proc) Signal(sig os.Signal) error { return p.cmd.Process.Signal(sig) }
+
+// Wait blocks until the child exits and returns its wait error (nil on
+// clean exit).
+func (p *Proc) Wait() error {
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.werr
+}
+
+// Exited reports whether the child has exited.
+func (p *Proc) Exited() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func alreadyFinished(err error) bool {
+	return errors.Is(err, os.ErrProcessDone)
+}

@@ -17,15 +17,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	counters, gauges, hists := r.names()
-	for _, name := range counters {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.CounterValue(name)); err != nil {
-			return err
-		}
+	// Counters and gauges may carry a label block (see LabeledName); all
+	// series of one family share a single TYPE line naming the family.
+	if err := writeScalarFamilies(w, counters, "counter", r.CounterValue); err != nil {
+		return err
 	}
-	for _, name := range gauges {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.GaugeValue(name)); err != nil {
-			return err
-		}
+	if err := writeScalarFamilies(w, gauges, "gauge", r.GaugeValue); err != nil {
+		return err
 	}
 	for _, name := range hists {
 		r.mu.Lock()
@@ -48,6 +46,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count()); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// writeScalarFamilies renders counters or gauges grouped by metric
+// family: one TYPE line per base name, every series (labeled or not) of
+// that family directly beneath it, families in first-appearance order of
+// the sorted name list.
+func writeScalarFamilies(w io.Writer, names []string, kind string, value func(string) int64) error {
+	byBase := map[string][]string{}
+	var order []string
+	for _, name := range names {
+		base := baseName(name)
+		if _, ok := byBase[base]; !ok {
+			order = append(order, base)
+		}
+		byBase[base] = append(byBase[base], name)
+	}
+	for _, base := range order {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind); err != nil {
+			return err
+		}
+		for _, name := range byBase[base] {
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, value(name)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,41 @@
+package obs
+
+import "strings"
+
+// LabeledName renders a metric name carrying one Prometheus label pair,
+// e.g. LabeledName("bf4_fleet_shard_restores_total", "shard", "sw0") →
+// `bf4_fleet_shard_restores_total{shard="sw0"}`. The registry treats the
+// result as an ordinary metric name; because exposition prints names
+// verbatim (and TYPE lines strip the label part, see baseName), the
+// Prometheus text output parses as a labeled series. Label values are
+// escaped per the exposition format (backslash, quote, newline).
+func LabeledName(name, key, value string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	b.WriteString(key)
+	b.WriteString(`="`)
+	for _, r := range value {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// baseName strips a label block from a metric name: TYPE lines must name
+// the metric family, never an individual labeled series.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

@@ -34,6 +34,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bf4/internal/dataplane"
@@ -75,8 +76,11 @@ type Request struct {
 	ID int64 `json:"id"`
 	// Client identifies the sender for idempotent retries: the shim
 	// dedups mutations on (client, id).
-	Client string            `json:"client,omitempty"`
-	Type   string            `json:"type"` // insert | set_default | validate | batch | packet | stats
+	Client string `json:"client,omitempty"`
+	// Switch routes the request to one shard of a fleet server. Empty
+	// selects the server's DefaultSwitch (or the single embedded shim).
+	Switch string            `json:"switch,omitempty"`
+	Type   string            `json:"type"` // insert | set_default | validate | batch | packet | stats | health
 	Table  string            `json:"table,omitempty"`
 	Entry  *EntryMsg         `json:"entry,omitempty"`
 	Update []UpdateMsg       `json:"updates,omitempty"`
@@ -89,8 +93,16 @@ type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 
+	// Retryable marks a failure that is expected to clear (shard down or
+	// restoring): the client should back off and retry the same request —
+	// its idempotency key makes the retry safe.
+	Retryable bool `json:"retryable,omitempty"`
+
 	// FailedIndex reports which update of a rejected batch failed.
 	FailedIndex *int `json:"failed_index,omitempty"`
+
+	// Shards is the health-request result: switch id → lifecycle state.
+	Shards map[string]string `json:"shards,omitempty"`
 
 	// Packet-injection results.
 	EgressSpec *int64 `json:"egress_spec,omitempty"`
@@ -187,9 +199,25 @@ func EncodeEntry(e *dataplane.Entry) *EntryMsg {
 	return m
 }
 
+// shimLike is the validation surface dispatch runs against: either one
+// embedded *shim.Shim or one *shim.Shard of a fleet.
+type shimLike interface {
+	Validate(*shim.Update) error
+	ApplyWithKey(string, *shim.Update) error
+	ApplyBatchWithKey(string, []*shim.Update) error
+	Snapshot() *dataplane.Snapshot
+	Stats() shim.Stats
+}
+
 // Server runs the shim behind the wire protocol.
 type Server struct {
 	Shim *shim.Shim
+	// Fleet, when set, serves many switches: requests route to the shard
+	// named by their Switch field (DefaultSwitch when empty) and Shim is
+	// ignored. Shard-down failures return retryable error responses.
+	Fleet *shim.Fleet
+	// DefaultSwitch names the shard for requests that omit Switch.
+	DefaultSwitch string
 	// Prog, when set, enables packet injection against the shadow
 	// snapshot.
 	Prog *ir.Program
@@ -444,12 +472,47 @@ func dedupKey(req *Request) string {
 	return req.Client + ":" + strconv.FormatInt(req.ID, 10)
 }
 
+// target resolves the shim a request runs against: the named (or
+// default) fleet shard, or the single embedded shim.
+func (s *Server) target(req *Request) (shimLike, error) {
+	if s.Fleet == nil {
+		return s.Shim, nil
+	}
+	id := req.Switch
+	if id == "" {
+		id = s.DefaultSwitch
+	}
+	if id == "" {
+		return nil, fmt.Errorf("p4runtime: no switch specified and no default configured")
+	}
+	sd := s.Fleet.Shard(id)
+	if sd == nil {
+		return nil, fmt.Errorf("p4runtime: unknown switch %q", id)
+	}
+	return sd, nil
+}
+
 func (s *Server) dispatch(req *Request) *Response {
 	resp := &Response{ID: req.ID}
 	fail := func(err error) *Response {
 		resp.OK = false
 		resp.Error = err.Error()
+		var sde *shim.ShardDownError
+		if errors.As(err, &sde) {
+			resp.Retryable = true
+		}
 		return resp
+	}
+	if req.Type == "health" {
+		resp.OK = true
+		if s.Fleet != nil {
+			resp.Shards = s.Fleet.Health()
+		}
+		return resp
+	}
+	sh, terr := s.target(req)
+	if terr != nil {
+		return fail(terr)
 	}
 	switch req.Type {
 	case "insert", "validate":
@@ -462,9 +525,9 @@ func (s *Server) dispatch(req *Request) *Response {
 		}
 		u := &shim.Update{Table: req.Table, Entry: e}
 		if req.Type == "insert" {
-			err = s.Shim.ApplyWithKey(dedupKey(req), u)
+			err = sh.ApplyWithKey(dedupKey(req), u)
 		} else {
-			err = s.Shim.Validate(u)
+			err = sh.Validate(u)
 		}
 		if err != nil {
 			return fail(err)
@@ -478,7 +541,7 @@ func (s *Server) dispatch(req *Request) *Response {
 		if err != nil {
 			return fail(err)
 		}
-		err = s.Shim.ApplyWithKey(dedupKey(req), &shim.Update{
+		err = sh.ApplyWithKey(dedupKey(req), &shim.Update{
 			Table:      req.Table,
 			SetDefault: &dataplane.DefaultAction{Action: e.Action, Params: e.Params},
 		})
@@ -510,7 +573,7 @@ func (s *Server) dispatch(req *Request) *Response {
 			}
 			updates = append(updates, u)
 		}
-		if err := s.Shim.ApplyBatchWithKey(dedupKey(req), updates); err != nil {
+		if err := sh.ApplyBatchWithKey(dedupKey(req), updates); err != nil {
 			var be *shim.BatchError
 			if errors.As(err, &be) {
 				idx := be.Index
@@ -531,7 +594,11 @@ func (s *Server) dispatch(req *Request) *Response {
 			}
 			pkt[name] = v
 		}
-		interp := &dataplane.Interp{P: s.Prog, Snapshot: s.Shim.Snapshot(), Inputs: pkt}
+		snap := sh.Snapshot()
+		if snap == nil {
+			return fail(&shim.ShardDownError{ID: req.Switch, Reason: "no live shadow snapshot"})
+		}
+		interp := &dataplane.Interp{P: s.Prog, Snapshot: snap, Inputs: pkt}
 		tr, err := interp.Run()
 		if err != nil {
 			return fail(err)
@@ -544,7 +611,7 @@ func (s *Server) dispatch(req *Request) *Response {
 			resp.BugKind = tr.Terminal.Bug.String()
 		}
 	case "stats":
-		st := s.Shim.Stats()
+		st := sh.Stats()
 		resp.OK = true
 		resp.Validated = st.Validated
 		resp.Rejected = st.Rejected
@@ -566,8 +633,17 @@ type Options struct {
 	// BackoffMax, with jitter (defaults 10ms / 1s).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
-	// Seed makes the client ID and jitter deterministic (0 = random).
+	// Seed makes the client ID deterministic (0 = random). Backoff
+	// jitter additionally mixes in a process-unique per-client salt, so
+	// two clients that share a Seed never back off in lockstep (a fleet
+	// of identically-configured controllers must not reconnect as a
+	// synchronized herd after a shard restart). Give each client its own
+	// Seed regardless: the client ID feeds the idempotency key, and two
+	// clients with one ID would dedup against each other's requests.
 	Seed int64
+	// Switch stamps every request with a target switch for fleet
+	// servers (empty uses the server's default).
+	Switch string
 	// Dialer overrides the transport (e.g. a faultnet.Dialer for chaos
 	// tests). The default dials addr over TCP.
 	Dialer func() (net.Conn, error)
@@ -586,7 +662,14 @@ type Client struct {
 	id   string
 	opts Options
 	rng  *mrand.Rand
+	// jrng drives backoff jitter only. It is never shared and never
+	// seeded identically across clients (see Options.Seed).
+	jrng *mrand.Rand
 }
+
+// clientSalt makes every client's jitter stream unique within the
+// process, whatever seeds callers pass.
+var clientSalt atomic.Int64
 
 // Dial connects to a shim server with default resilience options.
 func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
@@ -640,7 +723,13 @@ func newClient(opts Options) *Client {
 	rng := mrand.New(mrand.NewSource(seed))
 	var idb [6]byte
 	rng.Read(idb[:])
-	return &Client{opts: opts, id: hex.EncodeToString(idb[:]), rng: rng}
+	jseed := int64(uint64(seed) ^ uint64(clientSalt.Add(1))*0x9e3779b97f4a7c15)
+	return &Client{
+		opts: opts,
+		id:   hex.EncodeToString(idb[:]),
+		rng:  rng,
+		jrng: mrand.New(mrand.NewSource(jseed)),
+	}
 }
 
 // ID returns the client's wire identity (used for idempotent retries).
@@ -664,15 +753,21 @@ func (c *Client) Close() error {
 	return err
 }
 
-// backoff sleeps before retry attempt a (a ≥ 1): exponential in a,
-// capped, with jitter to avoid thundering-herd reconnects.
-func (c *Client) backoff(a int) {
+// backoffDelay computes the sleep before retry attempt a (a ≥ 1):
+// exponential in a, capped, jittered over [cap/2, cap] from the
+// client's private jitter stream.
+func (c *Client) backoffDelay(a int) time.Duration {
 	d := c.opts.BackoffBase << (a - 1)
 	if d > c.opts.BackoffMax || d <= 0 {
 		d = c.opts.BackoffMax
 	}
-	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
-	time.Sleep(d)
+	return d/2 + time.Duration(c.jrng.Int63n(int64(d/2)+1))
+}
+
+// backoff sleeps before retry attempt a; the jitter keeps a fleet of
+// reconnecting controllers spread out instead of herding.
+func (c *Client) backoff(a int) {
+	time.Sleep(c.backoffDelay(a))
 }
 
 func (c *Client) roundTrip(req *Request) (*Response, error) {
@@ -681,6 +776,9 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.next++
 	req.ID = c.next
 	req.Client = c.id
+	if req.Switch == "" {
+		req.Switch = c.opts.Switch
+	}
 
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
@@ -700,6 +798,14 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		}
 		resp, err := c.try(req)
 		if err == nil {
+			if !resp.OK && resp.Retryable && attempt+1 < c.opts.MaxAttempts {
+				// Transient server-side failure (shard down/restoring):
+				// back off and resend the same request — the idempotency
+				// key makes the retry at-most-once even if the first
+				// attempt was queued and later applied.
+				lastErr = fmt.Errorf("p4runtime: retryable: %s", resp.Error)
+				continue
+			}
 			return resp, nil
 		}
 		lastErr = err
@@ -855,6 +961,20 @@ func (c *Client) SendPacket(fields map[string]int64) (*PacketResult, error) {
 		out.EgressSpec = *resp.EgressSpec
 	}
 	return out, nil
+}
+
+// Health fetches the server's per-shard lifecycle states (switch id →
+// "healthy" | "restoring" | "down"). A single-shim server returns an
+// empty map.
+func (c *Client) Health() (map[string]string, error) {
+	resp, err := c.roundTrip(&Request{Type: "health"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	return resp.Shards, nil
 }
 
 // Stats fetches shim counters.

@@ -49,7 +49,12 @@ func (s *Shim) ApplyBatchWithKey(key string, updates []*Update) error {
 			err = jerr
 			s.obs.batchRejected.Inc()
 		} else {
-			err = s.maybeCheckpointLocked()
+			// Outcome before checkpoint: a checkpoint triggered by this
+			// batch must persist its key in the snapshot's dedup window
+			// (the journal record it would replay from is being folded
+			// away).
+			s.recordOutcome(key, nil)
+			return s.maybeCheckpointLocked()
 		}
 	} else {
 		s.obs.batchRejected.Inc()

@@ -8,16 +8,17 @@ import "bf4/internal/obs"
 // site — the existing counters and latency reservoirs are untouched
 // either way (they feed Stats and the p4runtime status RPC).
 type shimObs struct {
-	validated      *obs.Counter
-	rejected       *obs.Counter
-	batches        *obs.Counter
-	batchRejected  *obs.Counter
-	journalAppends *obs.Counter
-	checkpoints    *obs.Counter
-	dedupHits      *obs.Counter
-	shadowEntries  *obs.Gauge
-	updateNs       *obs.Histogram
-	assertNs       *obs.Histogram
+	validated        *obs.Counter
+	rejected         *obs.Counter
+	batches          *obs.Counter
+	batchRejected    *obs.Counter
+	journalAppends   *obs.Counter
+	checkpoints      *obs.Counter
+	dedupHits        *obs.Counter
+	journalTornTails *obs.Counter
+	shadowEntries    *obs.Gauge
+	updateNs         *obs.Histogram
+	assertNs         *obs.Histogram
 }
 
 // SetObs attaches a metrics registry; nil detaches. The shim publishes:
@@ -29,6 +30,7 @@ type shimObs struct {
 //	bf4_shim_journal_appends_total    journal records fsynced
 //	bf4_shim_checkpoints_total        journal compactions
 //	bf4_shim_dedup_hits_total         idempotent retries short-circuited
+//	bf4_shim_journal_torn_tails_total torn journal tails truncated at recovery
 //	bf4_shim_shadow_entries           live shadow entries across tables
 //	bf4_shim_update_ns                whole-update validation latency
 //	bf4_shim_assertion_ns             single-assertion evaluation latency
@@ -40,15 +42,16 @@ func (s *Shim) SetObs(reg *obs.Registry) {
 		return
 	}
 	s.obs = shimObs{
-		validated:      reg.Counter("bf4_shim_updates_validated_total"),
-		rejected:       reg.Counter("bf4_shim_updates_rejected_total"),
-		batches:        reg.Counter("bf4_shim_batches_total"),
-		batchRejected:  reg.Counter("bf4_shim_batches_rejected_total"),
-		journalAppends: reg.Counter("bf4_shim_journal_appends_total"),
-		checkpoints:    reg.Counter("bf4_shim_checkpoints_total"),
-		dedupHits:      reg.Counter("bf4_shim_dedup_hits_total"),
-		shadowEntries:  reg.Gauge("bf4_shim_shadow_entries"),
-		updateNs:       reg.Histogram("bf4_shim_update_ns", obs.DurationBuckets),
-		assertNs:       reg.Histogram("bf4_shim_assertion_ns", obs.DurationBuckets),
+		validated:        reg.Counter("bf4_shim_updates_validated_total"),
+		rejected:         reg.Counter("bf4_shim_updates_rejected_total"),
+		batches:          reg.Counter("bf4_shim_batches_total"),
+		batchRejected:    reg.Counter("bf4_shim_batches_rejected_total"),
+		journalAppends:   reg.Counter("bf4_shim_journal_appends_total"),
+		checkpoints:      reg.Counter("bf4_shim_checkpoints_total"),
+		dedupHits:        reg.Counter("bf4_shim_dedup_hits_total"),
+		journalTornTails: reg.Counter("bf4_shim_journal_torn_tails_total"),
+		shadowEntries:    reg.Gauge("bf4_shim_shadow_entries"),
+		updateNs:         reg.Histogram("bf4_shim_update_ns", obs.DurationBuckets),
+		assertNs:         reg.Histogram("bf4_shim_assertion_ns", obs.DurationBuckets),
 	}
 }

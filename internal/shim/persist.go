@@ -1,12 +1,15 @@
 package shim
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"math/big"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"bf4/internal/dataplane"
 )
@@ -64,6 +67,23 @@ type journalRecord struct {
 	Seq int64       `json:"seq"`
 	Key string      `json:"key,omitempty"`
 	Ops []persistOp `json:"ops"`
+	// CRC is the IEEE CRC-32 of the record marshaled with CRC=0. Zero
+	// means "not checksummed" (journals written before this field
+	// existed), so recovery stays backward compatible.
+	CRC uint32 `json:"crc,omitempty"`
+}
+
+// recordCRC checksums a record as it is written: the JSON encoding with
+// the CRC field zeroed. json.Marshal is deterministic for a fixed
+// struct, so recovery recomputes the identical bytes.
+func recordCRC(rec *journalRecord) uint32 {
+	c := *rec
+	c.CRC = 0
+	data, err := json.Marshal(&c)
+	if err != nil {
+		return 0
+	}
+	return crc32.ChecksumIEEE(data)
 }
 
 // snapshotFile is the on-disk snapshot format.
@@ -167,9 +187,18 @@ func decodeDefault(pd *persistDefault) (*dataplane.DefaultAction, error) {
 
 // Store journals shim mutations under a state directory.
 type Store struct {
-	dir     string
+	dir string
+
+	// mu guards swaps of the journal handle; fenced flips once and stays
+	// set. Both exist for the fleet's failover fencing: a superseded shim
+	// incarnation may still be mid-operation when its shard restores, and
+	// it must not be able to append to — or compact away — the journal
+	// the new incarnation now owns.
+	mu      sync.Mutex
 	journal *os.File
-	recs    int
+	fenced  atomic.Bool
+
+	recs int
 
 	// CompactEvery folds the journal into a fresh snapshot once it
 	// reaches this many records (default 4096).
@@ -198,12 +227,32 @@ func (st *Store) SnapshotPath() string { return filepath.Join(st.dir, snapshotNa
 
 // Close closes the journal file.
 func (st *Store) Close() error {
-	if st.journal == nil {
+	st.mu.Lock()
+	j := st.journal
+	st.journal = nil
+	st.mu.Unlock()
+	if j == nil {
 		return nil
 	}
-	err := st.journal.Close()
-	st.journal = nil
-	return err
+	return j.Close()
+}
+
+// Fence permanently disables the store: the journal handle is closed so
+// in-flight appends fail, and subsequent appends or checkpoints are
+// refused. Because a mutation is journaled before it commits to memory,
+// a fenced (zombie) shim incarnation can never apply or acknowledge
+// anything the restored incarnation does not also recover from disk.
+func (st *Store) Fence() {
+	st.fenced.Store(true)
+	st.Close()
+}
+
+// journalHandle returns the live journal handle (nil once fenced or
+// closed).
+func (st *Store) journalHandle() *os.File {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.journal
 }
 
 // AttachStore loads any persisted state from st into the shim — snapshot
@@ -251,27 +300,77 @@ func (s *Shim) AttachStore(st *Store) error {
 
 	// 2. Journal replay: records hold already-validated updates, applied
 	// directly (this is exactly what makes controller replay unnecessary).
-	if jf, err := os.Open(st.JournalPath()); err == nil {
-		sc := bufio.NewScanner(jf)
-		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-		for sc.Scan() {
-			line := sc.Bytes()
-			if len(line) == 0 {
+	//
+	// A crash during append can leave a torn tail — a final record
+	// missing bytes (no trailing newline) or with a flipped byte (CRC
+	// mismatch). A torn tail was never acknowledged, so it is detected,
+	// counted (bf4_shim_journal_torn_tails_total) and truncated away; the
+	// truncation matters because the journal is reopened O_APPEND, and
+	// appending after a torn line would concatenate the next record onto
+	// garbage, losing an *acknowledged* record at the following recovery.
+	// Corruption before the final record is not a crash artifact and is
+	// refused outright.
+	if data, err := os.ReadFile(st.JournalPath()); err == nil {
+		off := 0  // start of the current line
+		good := 0 // just past the last whole, valid record
+		for off < len(data) {
+			nl := bytes.IndexByte(data[off:], '\n')
+			complete := nl >= 0
+			payload := data[off:]
+			next := len(data)
+			if complete {
+				payload = data[off : off+nl]
+				next = off + nl + 1
+			}
+			if len(bytes.TrimSpace(payload)) == 0 {
+				if !complete {
+					break // whitespace tail fragment: torn
+				}
+				off, good = next, next
 				continue
 			}
+			// Strict decoding: a flipped byte inside a field NAME would
+			// otherwise demote the field (the CRC, say) to an ignored
+			// unknown key and slip past the checksum.
 			var rec journalRecord
-			if err := json.Unmarshal(line, &rec); err != nil {
-				// A torn final record (crash mid-append) is expected; it
-				// was never acknowledged, so dropping it is safe. Stop at
-				// the first unparsable line.
-				break
+			dec := json.NewDecoder(bytes.NewReader(payload))
+			dec.DisallowUnknownFields()
+			parseErr := dec.Decode(&rec)
+			if parseErr == nil && dec.More() {
+				parseErr = fmt.Errorf("trailing bytes after record")
+			}
+			if parseErr == nil && rec.CRC != 0 && rec.CRC != recordCRC(&rec) {
+				parseErr = fmt.Errorf("crc mismatch")
+			}
+			if parseErr != nil || !complete {
+				if next < len(data) {
+					// Not the final line: real corruption, not a torn
+					// append. Refuse to guess at the state.
+					return fmt.Errorf("shim: corrupt journal record at offset %d: %v", off, parseErr)
+				}
+				break // torn tail
+			}
+			st.recs++
+			if rec.Seq != 0 && rec.Seq <= s.seq {
+				// Already folded into the snapshot (possible when a crash
+				// lands between snapshot rename and journal truncation).
+				off, good = next, next
+				continue
+			}
+			if rec.Key != "" {
+				if prev, seen := s.applied[rec.Key]; seen && prev == nil {
+					// Duplicate idempotency key: the mutation was already
+					// applied (snapshot window or an earlier record).
+					s.seq = rec.Seq
+					off, good = next, next
+					continue
+				}
 			}
 			for _, op := range rec.Ops {
 				u := &Update{Table: op.Table}
 				if op.Entry != nil {
 					e, err := decodeEntry(op.Entry)
 					if err != nil {
-						jf.Close()
 						return err
 					}
 					u.Entry = e
@@ -279,7 +378,6 @@ func (s *Shim) AttachStore(st *Store) error {
 				if op.Default != nil {
 					d, err := decodeDefault(op.Default)
 					if err != nil {
-						jf.Close()
 						return err
 					}
 					u.SetDefault = d
@@ -288,14 +386,16 @@ func (s *Shim) AttachStore(st *Store) error {
 			}
 			s.recordOutcome(rec.Key, nil)
 			s.seq = rec.Seq
-			st.recs++
+			off, good = next, next
 		}
-		jf.Close()
-		if err := sc.Err(); err != nil {
-			return fmt.Errorf("shim: read journal: %w", err)
+		if good < len(data) {
+			if err := os.Truncate(st.JournalPath(), int64(good)); err != nil {
+				return fmt.Errorf("shim: truncate torn journal tail: %w", err)
+			}
+			s.obs.journalTornTails.Inc()
 		}
 	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("shim: open journal: %w", err)
+		return fmt.Errorf("shim: read journal: %w", err)
 	}
 
 	// 3. Reopen the journal for appending.
@@ -303,9 +403,23 @@ func (s *Shim) AttachStore(st *Store) error {
 	if err != nil {
 		return fmt.Errorf("shim: open journal: %w", err)
 	}
+	st.mu.Lock()
 	st.journal = jf
+	st.mu.Unlock()
 	s.store = st
 	return nil
+}
+
+// JournalLag returns the number of journal records appended since the
+// last checkpoint — how much replay the next recovery (or failover)
+// would have to do. Zero without an attached store.
+func (s *Shim) JournalLag() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return 0
+	}
+	return s.store.recs
 }
 
 // journalLocked appends one record covering updates. A nil store is a
@@ -326,17 +440,29 @@ func (s *Shim) journalLocked(key string, updates []*Update) error {
 		}
 		rec.Ops = append(rec.Ops, op)
 	}
+	rec.CRC = recordCRC(&rec)
 	data, err := json.Marshal(&rec)
 	if err != nil {
 		return fmt.Errorf("shim: journal encode: %w", err)
 	}
-	if _, err := st.journal.Write(append(data, '\n')); err != nil {
+	j := st.journalHandle()
+	if j == nil {
+		return fmt.Errorf("shim: journal append: store fenced")
+	}
+	if _, err := j.Write(append(data, '\n')); err != nil {
 		return fmt.Errorf("shim: journal append: %w", err)
 	}
 	if !st.NoSync {
-		if err := st.journal.Sync(); err != nil {
+		if err := j.Sync(); err != nil {
 			return fmt.Errorf("shim: journal sync: %w", err)
 		}
+	}
+	if st.fenced.Load() {
+		// Fenced between append and now: the record is durable (the next
+		// incarnation replays it) but THIS incarnation must not commit or
+		// acknowledge — its shard has moved on. The caller's retry
+		// resolves through the idempotency window.
+		return fmt.Errorf("shim: journal append: store fenced mid-append")
 	}
 	s.seq = rec.Seq
 	st.recs++
@@ -366,9 +492,12 @@ func (s *Shim) Checkpoint() error {
 
 func (s *Shim) checkpointLocked() error {
 	st := s.store
+	if st.fenced.Load() {
+		return fmt.Errorf("shim: checkpoint: store fenced")
+	}
 	snap := snapshotFile{
 		Format:   snapshotFormat,
-		Program:  s.file.Program,
+		Program:  s.cp.file.Program,
 		Seq:      s.seq,
 		Tables:   map[string][]*persistEntry{},
 		Defaults: map[string]*persistDefault{},
@@ -408,18 +537,31 @@ func (s *Shim) checkpointLocked() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	// Publish the snapshot and truncate the journal under the store
+	// lock, re-checking the fence — a zombie incarnation must never
+	// replace the snapshot of, or truncate the journal of, a restored
+	// incarnation that now owns this directory.
+	st.mu.Lock()
+	if st.fenced.Load() {
+		st.mu.Unlock()
+		os.Remove(tmp)
+		return fmt.Errorf("shim: checkpoint: store fenced")
+	}
 	if err := os.Rename(tmp, st.SnapshotPath()); err != nil {
+		st.mu.Unlock()
 		return fmt.Errorf("shim: snapshot rename: %w", err)
 	}
-	// Truncate the journal: its records are folded into the snapshot.
 	if st.journal != nil {
 		st.journal.Close()
 	}
 	jf, err := os.OpenFile(st.JournalPath(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
+		st.journal = nil
+		st.mu.Unlock()
 		return fmt.Errorf("shim: journal truncate: %w", err)
 	}
 	st.journal = jf
+	st.mu.Unlock()
 	st.recs = 0
 	s.obs.checkpoints.Inc()
 	return nil

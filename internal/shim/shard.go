@@ -1,0 +1,417 @@
+package shim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bf4/internal/dataplane"
+	"bf4/internal/obs"
+)
+
+// Shard is one switch's slice of the fleet: a shim incarnation plus its
+// snapshot+journal store, guarded by a capacity-1 semaphore (so the
+// supervisor can observe how long the current operation has held it —
+// that is the wedge detector). A shard moves through incarnations: Kill
+// fences the current one (generation bump + journal handle close) and
+// restore installs a fresh shim rebuilt from disk.
+type Shard struct {
+	fleet *Fleet
+	id    string
+	fp    string
+	cp    *Compiled
+	dir   string // "" = no persistence
+
+	// opStart is the UnixNano timestamp at which the operation currently
+	// holding the semaphore began (0 = idle). The supervisor reads it to
+	// detect a wedged shard.
+	opStart atomic.Int64
+
+	mu        sync.Mutex
+	sh        *Shim
+	store     *Store
+	sem       chan struct{} // capacity 1; nil while down
+	state     ShardState
+	gen       int64 // incarnation counter; bumped by every fence
+	queue     []*queuedOp
+	restoring bool
+	lastErr   error
+	autofill  bool
+
+	// Per-shard metrics (nil-safe).
+	restores *obs.Counter
+	degraded *obs.Counter
+	replayed *obs.Counter
+	lagGauge *obs.Gauge
+}
+
+// queuedOp is one write parked in DownQueue mode.
+type queuedOp struct {
+	run  func(*Shim) error
+	done chan error
+}
+
+// errShardRecovered signals do() that the shard came back between the
+// unavailability check and the enqueue — retry against the live shim.
+var errShardRecovered = errors.New("shim: shard recovered")
+
+// ID returns the switch identifier.
+func (sd *Shard) ID() string { return sd.id }
+
+// Fingerprint returns the program fingerprint this shard validates
+// against (the annotation-cache key).
+func (sd *Shard) Fingerprint() string { return sd.fp }
+
+// State returns the shard's lifecycle state.
+func (sd *Shard) State() ShardState {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.state
+}
+
+// Healthy reports whether the shard is serving.
+func (sd *Shard) Healthy() bool { return sd.State() == ShardHealthy }
+
+// LastError returns the most recent restore failure (nil when healthy).
+func (sd *Shard) LastError() error {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.lastErr
+}
+
+// Validate checks an update against the shard without applying it.
+func (sd *Shard) Validate(u *Update) error {
+	return sd.do(func(sh *Shim) error { return sh.Validate(u) })
+}
+
+// Apply validates and applies one update (no idempotency key).
+func (sd *Shard) Apply(u *Update) error { return sd.ApplyWithKey("", u) }
+
+// ApplyWithKey validates and applies one update with an idempotency
+// key. Writes to a down shard follow the fleet's degraded mode.
+func (sd *Shard) ApplyWithKey(key string, u *Update) error {
+	return sd.do(func(sh *Shim) error { return sh.ApplyWithKey(key, u) })
+}
+
+// ApplyBatchWithKey atomically applies a batch with an idempotency key.
+func (sd *Shard) ApplyBatchWithKey(key string, updates []*Update) error {
+	return sd.do(func(sh *Shim) error { return sh.ApplyBatchWithKey(key, updates) })
+}
+
+// Stats returns the current incarnation's statistics (zero when down).
+func (sd *Shard) Stats() Stats {
+	if sh := sd.currentShim(); sh != nil {
+		return sh.Stats()
+	}
+	return Stats{}
+}
+
+// ShadowSize returns the shadow entry count for a table (0 when down).
+func (sd *Shard) ShadowSize(table string) int {
+	if sh := sd.currentShim(); sh != nil {
+		return sh.ShadowSize(table)
+	}
+	return 0
+}
+
+// Snapshot materializes the shard's shadow state (nil when down).
+func (sd *Shard) Snapshot() *dataplane.Snapshot {
+	if sh := sd.currentShim(); sh != nil {
+		return sh.Snapshot()
+	}
+	return nil
+}
+
+// MarshalSnapshot serializes the shard's shadow state deterministically.
+func (sd *Shard) MarshalSnapshot() ([]byte, error) {
+	sh := sd.currentShim()
+	if sh == nil {
+		return nil, &ShardDownError{ID: sd.id, State: sd.State(), Reason: "no live incarnation"}
+	}
+	return sh.MarshalSnapshot()
+}
+
+// JournalLag returns journal records accumulated since the last
+// checkpoint (0 when down or unpersisted).
+func (sd *Shard) JournalLag() int {
+	if sh := sd.currentShim(); sh != nil {
+		return sh.JournalLag()
+	}
+	return 0
+}
+
+// QueueLen reports how many writes are parked awaiting restore
+// (DownQueue mode only; always 0 in reject mode).
+func (sd *Shard) QueueLen() int {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return len(sd.queue)
+}
+
+// SetAutofill toggles AutofillSynthesizedKeys for the current and all
+// future incarnations.
+func (sd *Shard) SetAutofill(on bool) {
+	sd.mu.Lock()
+	sd.autofill = on
+	sh := sd.sh
+	sd.mu.Unlock()
+	if sh != nil {
+		sh.AutofillSynthesizedKeys = on
+	}
+}
+
+func (sd *Shard) currentShim() *Shim {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	if sd.state != ShardHealthy {
+		return nil
+	}
+	return sd.sh
+}
+
+// do funnels one operation through the shard's semaphore, routing
+// around dead or wedged incarnations per the fleet's degraded mode. The
+// bounded retry loop covers the races where the shard flips state while
+// the operation is between checks.
+func (sd *Shard) do(run func(*Shim) error) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		err := sd.doOnce(run)
+		if err == errShardRecovered {
+			continue
+		}
+		return err
+	}
+	sd.rejectDegraded()
+	return &ShardDownError{ID: sd.id, State: sd.State(), Reason: "shard flapping"}
+}
+
+func (sd *Shard) doOnce(run func(*Shim) error) error {
+	sd.mu.Lock()
+	state, sem, gen := sd.state, sd.sem, sd.gen
+	sd.mu.Unlock()
+	if state != ShardHealthy || sem == nil {
+		return sd.degradedOp(run)
+	}
+	t := time.NewTimer(sd.fleet.cfg.opWait())
+	select {
+	case sem <- struct{}{}:
+		t.Stop()
+	case <-t.C:
+		// Lock not acquired within OpWait: wedged or overloaded. Either
+		// way the shard is unavailable to this caller; the supervisor
+		// decides whether to fail it over.
+		return sd.degradedOp(run)
+	}
+	sd.opStart.Store(time.Now().UnixNano())
+	release := func() {
+		sd.opStart.Store(0)
+		<-sem
+	}
+	// A failover may have swapped the incarnation while we waited on the
+	// (possibly orphaned) semaphore — re-read before running.
+	sd.mu.Lock()
+	sh, curGen, curState := sd.sh, sd.gen, sd.state
+	sd.mu.Unlock()
+	if curState != ShardHealthy || sh == nil || curGen != gen {
+		release()
+		return sd.degradedOp(run)
+	}
+	err := run(sh)
+	release()
+	if err != nil && sd.fencedSince(curGen) {
+		// The incarnation was fenced mid-operation: the error is a
+		// fencing artifact (closed journal handle), not a validation
+		// verdict. The mutation did not commit; route it through the
+		// degraded path so the retry lands on the restored incarnation
+		// (idempotency keys resolve any journaled-but-unacked ambiguity).
+		return sd.degradedOp(run)
+	}
+	sd.observeLag(sh)
+	return err
+}
+
+func (sd *Shard) fencedSince(gen int64) bool {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.gen != gen
+}
+
+// degradedOp handles an operation that found its shard unavailable:
+// reject mode fails fast with a retryable error; queue mode parks the
+// operation (bounded) until restore replays it in arrival order.
+func (sd *Shard) degradedOp(run func(*Shim) error) error {
+	f := sd.fleet
+	if f.cfg.OnShardDown != DownQueue {
+		sd.rejectDegraded()
+		return &ShardDownError{ID: sd.id, State: sd.State(), Reason: "degraded mode is reject"}
+	}
+	done := make(chan error, 1)
+	sd.mu.Lock()
+	if sd.state == ShardHealthy && sd.sh != nil {
+		// Raced with a completed restore; run live instead of parking
+		// (a parked op after the drain would wait for the next restore).
+		sd.mu.Unlock()
+		return errShardRecovered
+	}
+	if len(sd.queue) >= f.cfg.queueLimit() {
+		sd.mu.Unlock()
+		sd.rejectDegraded()
+		return &ShardDownError{ID: sd.id, State: sd.State(), Reason: "degraded queue full"}
+	}
+	sd.queue = append(sd.queue, &queuedOp{run: run, done: done})
+	sd.mu.Unlock()
+	t := time.NewTimer(f.cfg.queueWait())
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		// The op stays parked and may still be applied by a later
+		// restore — a deliberately ambiguous outcome, resolved by the
+		// caller retrying with the same idempotency key.
+		sd.rejectDegraded()
+		return &ShardDownError{ID: sd.id, State: sd.State(), Reason: "timed out waiting for restore"}
+	}
+}
+
+func (sd *Shard) rejectDegraded() {
+	sd.degraded.Inc()
+	sd.fleet.degradedTotal.Inc()
+}
+
+func (sd *Shard) observeLag(sh *Shim) {
+	sd.lagGauge.Set(int64(sh.JournalLag()))
+}
+
+// Kill fences the current incarnation, emulating a crash: generation
+// bump, shim discarded, store fenced and its journal handle closed. An
+// in-flight zombie operation cannot append to the journal any more,
+// therefore cannot commit or be acknowledged — the journal on disk
+// stays the single source of truth for the next incarnation.
+func (sd *Shard) Kill() {
+	sd.mu.Lock()
+	if sd.sh == nil && sd.state == ShardDown {
+		sd.mu.Unlock()
+		return
+	}
+	sd.state = ShardDown
+	sd.gen++
+	sd.sh = nil
+	sd.sem = nil
+	st := sd.store
+	sd.store = nil
+	sd.mu.Unlock()
+	if st != nil {
+		st.Fence()
+	}
+	sd.opStart.Store(0)
+}
+
+// restore rebuilds the shard from its snapshot+journal and installs the
+// fresh incarnation, then drains any parked writes in arrival order
+// while still holding the new semaphore (per-shard ordering survives
+// failover). initial marks the AddShard bring-up, which is not counted
+// as a restore.
+func (sd *Shard) restore(initial bool) error {
+	sd.mu.Lock()
+	if sd.restoring || (sd.state == ShardHealthy && sd.sh != nil) {
+		sd.mu.Unlock()
+		return nil
+	}
+	sd.restoring = true
+	sd.state = ShardRestoring
+	autofill := sd.autofill
+	sd.mu.Unlock()
+	defer func() {
+		sd.mu.Lock()
+		sd.restoring = false
+		sd.mu.Unlock()
+	}()
+
+	sh := NewFromCompiled(sd.cp)
+	sh.AutofillSynthesizedKeys = autofill
+	sh.SetObs(sd.fleet.cfg.Obs)
+	var st *Store
+	if sd.dir != "" {
+		var err error
+		st, err = OpenStore(sd.dir)
+		if err == nil {
+			if ce := sd.fleet.cfg.CompactEvery; ce > 0 {
+				st.CompactEvery = ce
+			}
+			st.NoSync = sd.fleet.cfg.NoSync
+			err = sh.AttachStore(st)
+		}
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			sd.mu.Lock()
+			sd.state = ShardDown
+			sd.lastErr = fmt.Errorf("restore: %w", err)
+			sd.mu.Unlock()
+			return err
+		}
+	}
+
+	sem := make(chan struct{}, 1)
+	sem <- struct{}{} // held until parked writes are drained
+
+	sd.mu.Lock()
+	sd.sh, sd.store, sd.sem = sh, st, sem
+	sd.state = ShardHealthy
+	sd.lastErr = nil
+	q := sd.queue
+	sd.queue = nil
+	sd.mu.Unlock()
+
+	if !initial {
+		sd.restores.Inc()
+		sd.fleet.restoresTotal.Inc()
+	}
+	for _, op := range q {
+		err := op.run(sh)
+		sd.replayed.Inc()
+		sd.fleet.replayedTotal.Inc()
+		op.done <- err
+	}
+	<-sem
+	sd.observeLag(sh)
+	return nil
+}
+
+// close shuts the shard down for good: best-effort drain of the current
+// operation, final checkpoint, store closed.
+func (sd *Shard) close() error {
+	sd.mu.Lock()
+	sh, st, sem := sd.sh, sd.store, sd.sem
+	sd.state = ShardDown
+	sd.gen++
+	sd.sh = nil
+	sd.store = nil
+	sd.sem = nil
+	sd.mu.Unlock()
+	if sh == nil {
+		return nil
+	}
+	if sem != nil {
+		t := time.NewTimer(time.Second)
+		select {
+		case sem <- struct{}{}:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+	var err error
+	if st != nil {
+		if st.recs > 0 {
+			err = sh.Checkpoint()
+		}
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -77,9 +77,7 @@ const DefaultDedupWindow = 4096
 // Shim validates and tracks controller updates for one P4 program.
 type Shim struct {
 	mu       sync.Mutex
-	f        *smt.Factory
-	file     *spec.File
-	byTable  map[string][]*compiledAssertion
+	cp       *Compiled
 	shadow   map[string][]*dataplane.Entry
 	defaults map[string]*dataplane.DefaultAction
 	counters struct{ validated, rejected int }
@@ -112,16 +110,20 @@ type Shim struct {
 
 // New compiles a spec file into a shim.
 func New(file *spec.File) (*Shim, error) {
-	s := &Shim{
-		f:            smt.NewFactory(),
-		file:         file,
-		byTable:      map[string][]*compiledAssertion{},
-		shadow:       map[string][]*dataplane.Entry{},
-		defaults:     map[string]*dataplane.DefaultAction{},
-		perAssertion: newReservoir(DefaultStatsCap),
-		perUpdate:    newReservoir(DefaultStatsCap),
-		applied:      map[string]error{},
-		appliedOrder: make([]string, 0, DefaultDedupWindow),
+	cp, err := Compile(file)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromCompiled(cp), nil
+}
+
+// Compile parses a spec file's assertions into a shareable, read-only
+// compiled annotation set (see Compiled).
+func Compile(file *spec.File) (*Compiled, error) {
+	cp := &Compiled{
+		file:    file,
+		f:       smt.NewFactory(),
+		byTable: map[string][]*compiledAssertion{},
 	}
 	for _, a := range file.Assertions {
 		ca := &compiledAssertion{src: a, primary: file.Table(a.Table)}
@@ -135,7 +137,7 @@ func New(file *spec.File) (*Shim, error) {
 			}
 		}
 		for i := range a.Forbidden {
-			t, err := a.ParseForbidden(s.f, i)
+			t, err := a.ParseForbidden(cp.f, i)
 			if err != nil {
 				return nil, fmt.Errorf("shim: table %s: %w", a.Table, err)
 			}
@@ -147,12 +149,28 @@ func New(file *spec.File) (*Shim, error) {
 			ca.termBound = append(ca.termBound, names)
 		}
 		// Cluster by every table the assertion mentions (step a).
-		s.byTable[a.Table] = append(s.byTable[a.Table], ca)
+		cp.byTable[a.Table] = append(cp.byTable[a.Table], ca)
 		if a.Linked != "" && a.Linked != a.Table {
-			s.byTable[a.Linked] = append(s.byTable[a.Linked], ca)
+			cp.byTable[a.Linked] = append(cp.byTable[a.Linked], ca)
 		}
 	}
-	return s, nil
+	return cp, nil
+}
+
+// NewFromCompiled builds a shim over an already-compiled annotation set.
+// Many shims (fleet shards) may share one Compiled: each gets its own
+// shadow state, dedup window and statistics; the compiled terms are only
+// ever read.
+func NewFromCompiled(cp *Compiled) *Shim {
+	return &Shim{
+		cp:           cp,
+		shadow:       map[string][]*dataplane.Entry{},
+		defaults:     map[string]*dataplane.DefaultAction{},
+		perAssertion: newReservoir(DefaultStatsCap),
+		perUpdate:    newReservoir(DefaultStatsCap),
+		applied:      map[string]error{},
+		appliedOrder: make([]string, 0, DefaultDedupWindow),
+	}
 }
 
 // Stats returns a copy of the accumulated statistics.
@@ -228,7 +246,18 @@ func (s *Shim) ApplyWithKey(key string, u *Update) error {
 		// applied, and after a crash the journal is the source of truth.
 		if err = s.journalLocked(key, []*Update{u}); err == nil {
 			s.commitLocked(u)
-			err = s.maybeCheckpointLocked()
+			// Record the outcome BEFORE any checkpoint: a checkpoint
+			// triggered by this very record folds the journal into the
+			// snapshot, and the snapshot must carry this key in its
+			// dedup window or a crash right after would re-apply the
+			// retry.
+			s.recordOutcome(key, nil)
+			if cerr := s.maybeCheckpointLocked(); cerr != nil {
+				// The update is applied and its outcome recorded; the
+				// caller's retry resolves through the window.
+				return cerr
+			}
+			return nil
 		}
 	}
 	s.recordOutcome(key, err)
@@ -306,7 +335,7 @@ func (s *Shim) validateLocked(u *Update) error {
 	s.counters.validated++
 	s.obs.validated.Inc()
 
-	ts := s.file.Table(u.Table)
+	ts := s.cp.file.Table(u.Table)
 	if ts == nil {
 		s.rejectLocked()
 		return &RejectionError{Table: u.Table, Reason: "unknown table"}
@@ -338,7 +367,7 @@ func (s *Shim) validateLocked(u *Update) error {
 	env := smt.Env{}
 	bound := bindEntry(env, ts, u.Entry)
 
-	for _, ca := range s.byTable[u.Table] {
+	for _, ca := range s.cp.byTable[u.Table] {
 		for i, term := range ca.terms {
 			aStart := time.Now()
 			violated := s.evalCondition(ca, i, term, env, bound, ts)
