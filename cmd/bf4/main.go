@@ -66,6 +66,7 @@ func main() {
 		incrMode     = flag.String("incremental", "on", "incremental solver core: on keeps one persistent solver per slice with clause reuse, shared CNF and inprocessing between checks, off runs each check from the asserted base (verdicts are identical either way)")
 		metricsOut   = flag.String("metrics-json", "", "write run metrics as JSON to this file (\"-\" for stdout; verdicts are identical with metrics on or off)")
 		traceOut     = flag.String("trace-out", "", "write the hierarchical phase-timing tree to this file (\"-\" for stdout)")
+		check        = flag.String("check", "", "enable extra bug classes: iflow adds information-flow leak checks (sensitive data reaching egress-visible sinks) to the verified set")
 	)
 	flag.Parse()
 
@@ -121,6 +122,14 @@ func main() {
 		cfg.Incremental = false
 	default:
 		fatalf("bf4: -incremental must be on or off, got %q", *incrMode)
+	}
+	switch *check {
+	case "":
+	case "iflow":
+		cfg.IR.CheckInfoFlow = true
+		cfg.IR.TaintDefaultPolicy = true
+	default:
+		fatalf("bf4: -check must be empty or iflow, got %q", *check)
 	}
 	cfg.Slicing = !*noSlice
 	cfg.IR.DontCare = !*noDontCare
@@ -238,9 +247,15 @@ func lintMain(args []string) {
 		corpusName  = fs.String("corpus", "", "lint a named corpus program")
 		switchScale = fs.Int("switch-scale", 0, "lint a generated switch program at this scale")
 		jsonOut     = fs.Bool("json", false, "emit diagnostics as JSON")
+		taint       = fs.Bool("taint", false, "run the information-flow (taint) analysis instead of the lint passes: dataflow alarms at egress-visible sinks, each confirmed or dismissed by the solver")
+		taintPolicy = fs.String("taint-policy", "default", "taint source policy: default (annotations + built-in sensitive fields) or annot (annotations only)")
+		taintFamily = fs.String("taint-family", "", "lint a generated taint-exercise program: leaky or clean (sized by -switch-scale, placed by -taint-seed)")
+		taintSeed   = fs.Int("taint-seed", 1, "placement seed for -taint-family generation (deterministic per seed)")
+		jobs        = fs.Int("j", 0, "confirmation solver workers (0 = 1; output identical for every value)")
+		incrMode    = fs.String("incremental", "on", "persistent confirmation solver with retractable scopes: on|off (output identical either way)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: bf4 lint [-json] (program.p4 | -corpus name | -switch-scale n)")
+		fmt.Fprintln(os.Stderr, "usage: bf4 lint [-json] [-taint] (program.p4 | -corpus name | -switch-scale n | -taint-family leaky|clean)")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -249,6 +264,16 @@ func lintMain(args []string) {
 
 	name, src := "", ""
 	switch {
+	case *taintFamily != "":
+		if *taintFamily != "leaky" && *taintFamily != "clean" {
+			fatalf("bf4 lint: -taint-family must be leaky or clean, got %q", *taintFamily)
+		}
+		scale := *switchScale
+		if scale <= 0 {
+			scale = 4
+		}
+		name = fmt.Sprintf("taintswitch-%s@%d.p4", *taintFamily, scale)
+		src = progs.GenerateTaintSwitch(scale, *taintSeed, *taintFamily == "leaky")
 	case *corpusName != "":
 		p := progs.Get(*corpusName)
 		if p == nil {
@@ -266,6 +291,40 @@ func lintMain(args []string) {
 	default:
 		fs.Usage()
 		os.Exit(2)
+	}
+
+	if *taint {
+		tcfg := driver.DefaultTaintConfig()
+		tcfg.Policy = *taintPolicy
+		tcfg.Workers = *jobs
+		switch *incrMode {
+		case "on":
+			tcfg.Incremental = true
+		case "off":
+			tcfg.Incremental = false
+		default:
+			fatalf("bf4 lint: -incremental must be on or off, got %q", *incrMode)
+		}
+		rep, err := driver.Taint(name, src, tcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		if *jsonOut {
+			data, err := rep.RenderJSON(name)
+			if err != nil {
+				fatalf("render: %v", err)
+			}
+			fmt.Printf("%s\n", data)
+		} else {
+			fmt.Print(rep.RenderText(name))
+		}
+		for _, d := range rep.Diags {
+			if d.Severity == analysis.SevError {
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	res, err := Lint(name, src)

@@ -57,6 +57,10 @@ type Diagnostic struct {
 	Line     int      `json:"line"`
 	Col      int      `json:"col"`
 	Msg      string   `json:"message"`
+	// Witness is the rendered flow path for information-flow findings
+	// ("source -> copy -> sink"); empty for every other pass. Kept as a
+	// pre-rendered string so Diagnostic stays comparable.
+	Witness string `json:"witness,omitempty"`
 }
 
 // Pos returns the diagnostic's source position.
@@ -78,6 +82,9 @@ func (d Diagnostic) Format(file string) string {
 		b.WriteString(" ")
 	}
 	fmt.Fprintf(&b, "%s: %s [%s]", d.Severity, d.Msg, d.Pass)
+	if d.Witness != "" {
+		fmt.Fprintf(&b, " {flow: %s}", d.Witness)
+	}
 	return b.String()
 }
 
@@ -99,7 +106,10 @@ func sortDiags(ds []Diagnostic) {
 		if a.Pass != b.Pass {
 			return a.Pass < b.Pass
 		}
-		return a.Msg < b.Msg
+		if a.Msg != b.Msg {
+			return a.Msg < b.Msg
+		}
+		return a.Witness < b.Witness
 	})
 }
 
@@ -114,6 +124,14 @@ func dedupeDiags(ds []Diagnostic) []Diagnostic {
 		out = append(out, d)
 	}
 	return out
+}
+
+// SortAndDedupe puts diagnostics in the stable rendering order (see
+// sortDiags) and drops exact duplicates. Passes outside this package
+// (the information-flow driver) use it to match lint's output contract.
+func SortAndDedupe(ds []Diagnostic) []Diagnostic {
+	sortDiags(ds)
+	return dedupeDiags(ds)
 }
 
 // RenderText renders diagnostics one per line for terminals, ending with

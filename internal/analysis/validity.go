@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bf4/internal/ir"
+	"bf4/internal/p4/token"
 )
 
 // validityKind reports whether a bug class is guarded by a header-validity
@@ -37,16 +38,53 @@ func guardOf(bn *ir.Node) (g *ir.Node, ok bool) {
 	return g, true
 }
 
+// FallbackPos returns n's source position, or — for synthesized nodes
+// lowered without one (pipeline-exit checks, instrumentation epilogues)
+// — the position of the nearest preceding node that has one, so
+// diagnostics anchor to the enclosing construct instead of 0:0. The
+// backward walk is breadth-first over predecessor lists (deterministic:
+// Preds order is builder emission order) and bounded.
+func FallbackPos(n *ir.Node) token.Pos {
+	if n.Pos.IsValid() {
+		return n.Pos
+	}
+	const bound = 256
+	seen := map[*ir.Node]bool{n: true}
+	frontier := []*ir.Node{n}
+	for len(frontier) > 0 && len(seen) < bound {
+		var next []*ir.Node
+		for _, f := range frontier {
+			for _, p := range f.Preds {
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+				if p.Pos.IsValid() {
+					return p.Pos
+				}
+				next = append(next, p)
+			}
+		}
+		frontier = next
+	}
+	return token.Pos{}
+}
+
 // definiteBugLint reports bug sites whose guard condition folds to true
 // under the solved facts: every execution reaching the site trips the
 // check, so it is a static bug needing no solver query. Validity bug
 // classes are attributed to the header-validity pass, the rest to
 // constprop. Sites without a source position (synthetic pipeline-exit
-// checks) are skipped — the solver still covers them.
+// checks) anchor to the enclosing construct via FallbackPos; only sites
+// with no position anywhere upstream are skipped.
 func definiteBugLint(p *ir.Program, fs *Facts, pass string, kinds func(ir.BugKind) bool) []Diagnostic {
 	var ds []Diagnostic
 	for _, bn := range p.Bugs {
-		if !kinds(bn.Bug) || !bn.Pos.IsValid() {
+		if !kinds(bn.Bug) {
+			continue
+		}
+		pos := FallbackPos(bn)
+		if !pos.IsValid() {
 			continue
 		}
 		g, ok := guardOf(bn)
@@ -57,8 +95,8 @@ func definiteBugLint(p *ir.Program, fs *Facts, pass string, kinds func(ir.BugKin
 			ds = append(ds, Diagnostic{
 				Pass:     pass,
 				Severity: SevError,
-				Line:     bn.Pos.Line,
-				Col:      bn.Pos.Col,
+				Line:     pos.Line,
+				Col:      pos.Col,
 				Msg:      fmt.Sprintf("definite %s: %s (every execution reaching this point trips it)", bn.Bug, bn.Comment),
 			})
 		}

@@ -1,0 +1,143 @@
+// Solver confirmation for information-flow alarms. The dataflow half
+// (internal/analysis RunTaint) over-approximates: it flags every sink a
+// label analysis cannot prove clean. ConfirmLeaks runs the precise half
+// of the contract — each alarm's BugInfoLeak node already carries a
+// reachability condition (taint != 0 conjoined with the path condition,
+// via the standard wp machinery), so a single satisfiability query per
+// alarm either confirms the leak with a witness model or dismisses it as
+// infeasible. This is the PR3 discharge contract in reverse: there the
+// dataflow pass saves solver queries; here the solver retires dataflow
+// false positives.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"bf4/internal/ir"
+	"bf4/internal/obs"
+	"bf4/internal/smt"
+	"bf4/internal/solver"
+)
+
+// LeakVerdict is the solver's answer for one taint alarm.
+type LeakVerdict struct {
+	// Node is the BugInfoLeak terminal the verdict is about.
+	Node *ir.Node
+	// Confirmed means the solver found a packet (model) that carries
+	// sensitive bits to the sink; Model is that satisfying assignment.
+	Confirmed bool
+	Model     smt.Env
+	// Discharged marks alarms dismissed without a solver query: the
+	// reachability condition was absent, already false, or folded to
+	// false by the rewrite engine.
+	Discharged bool
+}
+
+// ConfirmOptions configures the confirmation phase.
+type ConfirmOptions struct {
+	// Workers is the number of parallel solver workers; values < 1 mean
+	// one. Each worker owns a private solver over the shared term
+	// factory (hash-consing is mutex-guarded), and verdicts are indexed
+	// by alarm position, so results are deterministic for any count.
+	Workers int
+	// Incremental runs each worker's checks inside retractable
+	// activation scopes (solver.CheckIn/Retract) on one persistent
+	// solver, like the bug-finding phase.
+	Incremental bool
+	// Obs/Trace attach observability; nil disables it.
+	Obs   *obs.Registry
+	Trace *obs.Span
+}
+
+// ConfirmLeaks decides each alarm bug node with the solver. The returned
+// slice is parallel to alarms: verdict i answers alarms[i]. Verdicts do
+// not depend on Workers or Incremental — only wall-clock does.
+func (pl *Pipeline) ConfirmLeaks(alarms []*ir.Node, opts ConfirmOptions) ([]*LeakVerdict, time.Duration) {
+	start := time.Now()
+	sp, done := obs.StartPhase(opts.Obs, opts.Trace, "confirm-leaks")
+	defer done()
+
+	out := make([]*LeakVerdict, len(alarms))
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(alarms) {
+		workers = len(alarms)
+	}
+
+	run := func(s *solver.Solver, i int) {
+		bn := alarms[i]
+		v := &LeakVerdict{Node: bn}
+		out[i] = v
+		cond := pl.Reach.Cond[bn]
+		if cond == nil || cond.IsFalse() {
+			v.Discharged = true
+			return
+		}
+		if s.Simplify(cond).IsFalse() {
+			v.Discharged = true
+			return
+		}
+		var res solver.Result
+		if opts.Incremental {
+			res = s.CheckIn(cond)
+		} else {
+			res = s.Check(cond)
+		}
+		if res == solver.Sat {
+			v.Confirmed = true
+			v.Model = s.Model()
+		}
+		if opts.Incremental {
+			s.Retract()
+		}
+	}
+
+	if workers <= 1 {
+		s := solver.New(pl.IR.F)
+		s.SetObs(opts.Obs)
+		if opts.Incremental {
+			s.SetIncremental(true)
+		}
+		for i := range alarms {
+			run(s, i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s := solver.New(pl.IR.F)
+				if opts.Incremental {
+					s.SetIncremental(true)
+				}
+				for i := w; i < len(alarms); i += workers {
+					run(s, i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	if opts.Obs != nil {
+		confirmed, discharged := 0, 0
+		for _, v := range out {
+			if v.Confirmed {
+				confirmed++
+			}
+			if v.Discharged {
+				discharged++
+			}
+		}
+		opts.Obs.Counter("bf4_iflow_alarms_total").Add(int64(len(alarms)))
+		opts.Obs.Counter("bf4_iflow_confirmed_total").Add(int64(confirmed))
+		opts.Obs.Counter("bf4_iflow_dismissed_total").Add(int64(len(alarms) - confirmed))
+		opts.Obs.Counter("bf4_iflow_discharged_fold_total").Add(int64(discharged))
+		sp.SetMetric("alarms", int64(len(alarms)))
+		sp.SetMetric("confirmed", int64(confirmed))
+	}
+	return out, time.Since(start)
+}

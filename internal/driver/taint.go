@@ -1,0 +1,234 @@
+// Information-flow (taint) orchestration: compile with shadow-taint
+// instrumentation, run the label dataflow pass, and hand every alarm to
+// the solver for confirmation. The two halves see the same taint
+// semantics — the dataflow pass abstractly executes the very shadow
+// terms the solver decides — so a sink the dataflow clears needs no
+// query, and a dataflow alarm the solver refutes is a genuinely
+// infeasible flow, reported as dismissed.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"bf4/internal/analysis"
+	"bf4/internal/core"
+	"bf4/internal/ir"
+	"bf4/internal/obs"
+	"bf4/internal/p4/parser"
+	"bf4/internal/p4/types"
+	"bf4/internal/smt/rewrite"
+)
+
+// TaintConfig selects options for a taint run.
+type TaintConfig struct {
+	// Policy picks the source set: "default" taints @sensitive-annotated
+	// fields plus the built-in policy (ipv4/ipv6 source addresses);
+	// "annot" taints annotated fields only.
+	Policy string
+	// Workers is the solver-confirmation fan-out; <= 0 means one.
+	// Reports are byte-identical for every value.
+	Workers int
+	// Incremental/Rewrite mirror Config: persistent confirmation solver
+	// with retractable scopes, and term-level simplification. Verdicts
+	// are identical either way.
+	Incremental bool
+	Rewrite     bool
+	// Obs/Trace attach observability (nil = off, zero overhead).
+	Obs   *obs.Registry
+	Trace *obs.Span
+}
+
+// DefaultTaintConfig matches lint's defaults: full policy, sequential
+// confirmation, rewrite and incremental solving on.
+func DefaultTaintConfig() TaintConfig {
+	return TaintConfig{Policy: "default", Incremental: true, Rewrite: true}
+}
+
+// TaintReport is the result of one taint run.
+type TaintReport struct {
+	Name     string
+	Pipeline *core.Pipeline
+	Dataflow *analysis.TaintResult
+	// Verdicts is parallel to Dataflow.Alarms.
+	Verdicts []*core.LeakVerdict
+	// Diags carries one diagnostic per alarm: confirmed leaks from
+	// annotated sources are errors, confirmed policy-source leaks are
+	// warnings, dismissed alarms are info.
+	Diags []analysis.Diagnostic
+
+	// Summary counts.
+	Sinks           int // reachable instrumented sink checks
+	StaticallyClean int // sinks the dataflow cleared without a query
+	Alarms          int // sinks escalated to the solver
+	Confirmed       int // alarms the solver confirmed (with a model)
+	Dismissed       int // alarms the solver refuted (infeasible flow)
+
+	DataflowIterations int
+	Runtime            time.Duration
+}
+
+// Taint compiles a program with information-flow instrumentation and
+// produces the confirmed/dismissed leak report. Frontend errors come
+// back with name: prefixed (like Lint).
+func Taint(name, src string, cfg TaintConfig) (*TaintReport, error) {
+	start := time.Now()
+	switch cfg.Policy {
+	case "", "default":
+		cfg.Policy = "default"
+	case "annot":
+	default:
+		return nil, fmt.Errorf("taint: policy must be default or annot, got %q", cfg.Policy)
+	}
+
+	prog, err := parser.ParseFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, parser.PrefixFile(name, err)
+	}
+	opts := ir.DefaultOptions()
+	opts.CheckInfoFlow = true
+	opts.TaintDefaultPolicy = cfg.Policy == "default"
+
+	compileSp, compileDone := obs.StartPhase(cfg.Obs, cfg.Trace, "compile")
+	pl, err := core.CompileCheckedObs(src, prog, info, opts, true, start, cfg.Obs, compileSp)
+	compileDone()
+	if err != nil {
+		return nil, parser.PrefixFile(name, err)
+	}
+	if cfg.Rewrite {
+		pl.IR.F.SetSimplifyProvider(rewrite.Provider(pl.IR.F))
+	}
+
+	_, dfDone := obs.StartPhase(cfg.Obs, cfg.Trace, "taint-dataflow")
+	df := analysis.RunTaint(pl.IR)
+	dfDone()
+
+	alarmNodes := make([]*ir.Node, len(df.Alarms))
+	for i, a := range df.Alarms {
+		alarmNodes[i] = a.Node
+	}
+	verdicts, _ := pl.ConfirmLeaks(alarmNodes, core.ConfirmOptions{
+		Workers:     cfg.Workers,
+		Incremental: cfg.Incremental,
+		Obs:         cfg.Obs,
+		Trace:       cfg.Trace,
+	})
+
+	rep := &TaintReport{
+		Name:               name,
+		Pipeline:           pl,
+		Dataflow:           df,
+		Verdicts:           verdicts,
+		Sinks:              df.Sinks,
+		StaticallyClean:    df.StaticallyClean,
+		Alarms:             len(df.Alarms),
+		DataflowIterations: df.Iterations,
+	}
+	for i, a := range df.Alarms {
+		v := verdicts[i]
+		if v.Confirmed {
+			rep.Confirmed++
+		} else {
+			rep.Dismissed++
+		}
+		rep.Diags = append(rep.Diags, taintDiag(pl.IR, a, v))
+	}
+	rep.Diags = analysis.SortAndDedupe(rep.Diags)
+
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("bf4_taint_sinks_total").Add(int64(rep.Sinks))
+		cfg.Obs.Counter("bf4_taint_static_clean_total").Add(int64(rep.StaticallyClean))
+		cfg.Obs.Counter("bf4_taint_alarms_total").Add(int64(rep.Alarms))
+		cfg.Obs.Counter("bf4_taint_confirmed_total").Add(int64(rep.Confirmed))
+		cfg.Obs.Counter("bf4_taint_dismissed_total").Add(int64(rep.Dismissed))
+	}
+	rep.Runtime = time.Since(start)
+	return rep, nil
+}
+
+// taintDiag renders one alarm + verdict as a diagnostic. Severity
+// follows the source's origin: a confirmed leak of an @sensitive-
+// annotated field is an error (the programmer declared the secret), a
+// confirmed leak under the built-in default policy is a warning, and a
+// dismissed alarm is informational (the dataflow over-approximation
+// fired but the solver proved the flow infeasible).
+func taintDiag(p *ir.Program, a *analysis.TaintAlarm, v *core.LeakVerdict) analysis.Diagnostic {
+	pos := analysis.FallbackPos(a.Node)
+	origin := "default policy"
+	sev := analysis.SevWarning
+	if ss := p.Sensitive[a.Source]; ss != nil && ss.Origin == "annot" {
+		origin = "@sensitive annotation"
+		sev = analysis.SevError
+	}
+	d := analysis.Diagnostic{
+		Pass:    "info-flow",
+		Line:    pos.Line,
+		Col:     pos.Col,
+		Witness: strings.Join(a.Witness, " -> "),
+	}
+	if v.Confirmed {
+		d.Severity = sev
+		d.Msg = fmt.Sprintf("confirmed leak: %s (source %s, %s)", a.Node.Comment, a.Source, origin)
+	} else {
+		d.Severity = analysis.SevInfo
+		d.Msg = fmt.Sprintf("dismissed (flow infeasible): %s (source %s, %s)", a.Node.Comment, a.Source, origin)
+	}
+	return d
+}
+
+// summaryLine is the stable one-line taint summary appended to both
+// renderings.
+func (r *TaintReport) summaryLine() string {
+	return fmt.Sprintf("taint: %d alarm(s), %d confirmed, %d dismissed, %d statically clean, %d sink check(s)",
+		r.Alarms, r.Confirmed, r.Dismissed, r.StaticallyClean, r.Sinks)
+}
+
+// RenderText renders the taint report like lint output, with the taint
+// summary line appended after the diagnostic count.
+func (r *TaintReport) RenderText(file string) string {
+	return analysis.RenderText(file, r.Diags) + r.summaryLine() + "\n"
+}
+
+// taintJSON is the machine-readable taint report schema: the lint
+// schema plus a "taint" summary object.
+type taintJSON struct {
+	File        string                `json:"file"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	Errors      int                   `json:"errors"`
+	Warnings    int                   `json:"warnings"`
+	TaintObj    struct {
+		Alarms          int `json:"alarms"`
+		Confirmed       int `json:"confirmed"`
+		Dismissed       int `json:"dismissed"`
+		StaticallyClean int `json:"statically_clean"`
+		Sinks           int `json:"sinks"`
+	} `json:"taint"`
+}
+
+// RenderJSON renders the taint report as stable, indented JSON.
+func (r *TaintReport) RenderJSON(file string) ([]byte, error) {
+	rep := taintJSON{File: file, Diagnostics: r.Diags}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []analysis.Diagnostic{}
+	}
+	for _, d := range r.Diags {
+		switch d.Severity {
+		case analysis.SevError:
+			rep.Errors++
+		case analysis.SevWarning:
+			rep.Warnings++
+		}
+	}
+	rep.TaintObj.Alarms = r.Alarms
+	rep.TaintObj.Confirmed = r.Confirmed
+	rep.TaintObj.Dismissed = r.Dismissed
+	rep.TaintObj.StaticallyClean = r.StaticallyClean
+	rep.TaintObj.Sinks = r.Sinks
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"bf4/internal/absdom"
 	"bf4/internal/p4/ast"
 	"bf4/internal/p4/token"
 	"bf4/internal/p4/types"
@@ -44,6 +45,15 @@ type Options struct {
 	// emits. Off by default (bf4 proper checks three classes; this is the
 	// extension the related work checks).
 	CheckDeparsedHeaders bool
+	// CheckInfoFlow instruments information-flow tracking: shadow taint
+	// variables, @sensitive sources and info-leak sink checks (see
+	// taint.go). Off by default; the IR is unchanged when disabled.
+	CheckInfoFlow bool
+	// TaintDefaultPolicy additionally marks well-known privacy-relevant
+	// fields (ipv4/ipv6 source addresses) as sensitive sources, beyond
+	// explicit @sensitive annotations. Only meaningful with
+	// CheckInfoFlow.
+	TaintDefaultPolicy bool
 	// UnrollSlack adds extra parser unroll budget beyond the computed
 	// bound.
 	UnrollSlack int
@@ -66,10 +76,11 @@ func DefaultOptions() Options {
 func Build(prog *ast.Program, info *types.Info, opts Options) (*Program, error) {
 	name := "program"
 	b := &builder{
-		p:    NewProgram(name),
-		info: info,
-		opts: opts,
-		memo: make(map[string]*Node),
+		p:            NewProgram(name),
+		info:         info,
+		opts:         opts,
+		memo:         make(map[string]*Node),
+		shadowInited: make(map[*Var]bool),
 	}
 	if err := b.run(prog); err != nil {
 		return nil, err
@@ -114,6 +125,13 @@ type builder struct {
 	memo          map[string]*Node // parser state memo: "state@budget"
 	instanceCount map[string]int
 
+	// Information-flow state (Options.CheckInfoFlow; see taint.go).
+	shadowInited    map[*Var]bool           // shadows already initialized
+	taintMemo       map[*smt.Term]*smt.Term // per-term taint transfer memo
+	absTaint        *absdom.Analyzer        // known-bits refinement, lazily built
+	emitSinkHeaders map[string]bool         // header paths the deparser emits
+	emitSinkFields  map[string]string       // field var name -> emitted header path
+
 	accept  *Node
 	reject  *Node
 	unreach *Node
@@ -155,6 +173,9 @@ func (b *builder) assign(v *Var, rhs *smt.Term) {
 	}
 	n.Expr = rhs
 	b.emit(n)
+	if b.opts.CheckInfoFlow {
+		b.shadowAssign(v, rhs)
+	}
 }
 
 func (b *builder) havoc(v *Var) {
@@ -162,6 +183,9 @@ func (b *builder) havoc(v *Var) {
 	n.Var = v
 	n.Pos = b.stmtPos
 	b.emit(n)
+	if b.opts.CheckInfoFlow {
+		b.shadowHavoc(v)
+	}
 }
 
 // branch emits a two-way branch and returns the two open chain tails.
@@ -271,6 +295,10 @@ func (b *builder) run(prog *ast.Program) error {
 	}
 	b.declareStruct("smeta", b.info.Structs["standard_metadata_t"])
 
+	// Information flow: resolve which header writes are externally
+	// visible before any lowering emits sink checks.
+	b.computeEmitSinks(pl.Deparser)
+
 	// Terminals.
 	b.accept = b.p.NewNode(AcceptTerm)
 	b.reject = b.p.NewNode(RejectTerm)
@@ -297,6 +325,7 @@ func (b *builder) run(prog *ast.Program) error {
 	if pl.Parser != nil {
 		b.ctl = nil
 		b.roles = b.rolesOfParser(pl.Parser)
+		b.initShadows()
 		budget := b.unrollBudget(pl.Parser)
 		entry := b.buildState(pl.Parser, "start", budget, ingressEntry, pl.Parser.P)
 		b.p.Edge(b.cur, entry)
@@ -424,6 +453,10 @@ func (b *builder) emitInit() {
 			b.assign(v, b.f().BVConst64(0, v.Sort.Width))
 		}
 	}
+	// Shadows for everything declared so far (header fields, remaining
+	// standard metadata): sensitive sources start all-tainted, the rest
+	// public.
+	b.initShadows()
 }
 
 func sortedHeaders(m map[string]*Header) []*Header {
@@ -473,8 +506,10 @@ func (b *builder) declareStruct(prefix string, decl *ast.StructDecl) {
 		switch t := b.info.ResolveType(fld.Type).(type) {
 		case *types.BitsType:
 			b.p.NewVar(path, smt.BV(t.Width))
+			b.markSensitive(path, fld, "")
 		case *types.BoolT:
 			b.p.NewVar(path, smt.BoolSort)
+			b.markSensitive(path, fld, "")
 		case *types.HeaderT:
 			b.declareHeader(path, t.Decl)
 		case *types.StructT:
@@ -500,6 +535,7 @@ func (b *builder) declareHeader(path string, decl *ast.HeaderDecl) *Header {
 			w = 1
 		}
 		h.Fields = append(h.Fields, b.p.NewVar(path+"."+fld.Name, smt.BV(w)))
+		b.markSensitive(path+"."+fld.Name, fld, decl.Name)
 	}
 	b.p.Headers[path] = h
 	return h
@@ -671,6 +707,7 @@ func (b *builder) buildControl(cd *ast.ControlDecl, end *Node) {
 	for _, p := range cd.Params {
 		b.roles[p.Name] = b.roleOfParam(p)
 	}
+	b.initShadows()
 	// Declare and initialize control locals.
 	for _, l := range cd.Locals {
 		switch x := l.(type) {
@@ -701,6 +738,7 @@ func (b *builder) declareLocal(cd *ast.ControlDecl, vd *ast.VarDecl) *Var {
 	switch x := t.(type) {
 	case *types.BitsType:
 		v := b.p.NewVar(name, smt.BV(x.Width))
+		b.initShadows()
 		if vd.Init != nil {
 			b.beginReads()
 			init := b.lowerExpr(vd.Init, x.Width)
@@ -712,6 +750,7 @@ func (b *builder) declareLocal(cd *ast.ControlDecl, vd *ast.VarDecl) *Var {
 		return v
 	case *types.BoolT:
 		v := b.p.NewVar(name, smt.BoolSort)
+		b.initShadows()
 		if vd.Init != nil {
 			b.beginReads()
 			init := b.lowerExpr(vd.Init, 1)

@@ -58,6 +58,12 @@ const (
 	// class of Vera/p4v; an opt-in extension here, see
 	// Options.CheckDeparsedHeaders).
 	BugLiveHeaderNotEmitted
+	// BugInfoLeak fires when a value derived from a sensitive source
+	// (@sensitive annotation or the built-in default policy) reaches an
+	// egress-visible sink: an emitted header field, egress-visible
+	// standard metadata, a table key, or a clone/digest payload. Opt-in
+	// via Options.CheckInfoFlow; see taint.go.
+	BugInfoLeak
 )
 
 var bugNames = map[BugKind]string{
@@ -66,7 +72,7 @@ var bugNames = map[BugKind]string{
 	BugInvalidKeyRead: "invalid-key-read", BugHeaderOverwrite: "header-overwrite",
 	BugRegisterOOB: "register-oob", BugStackOverflow: "stack-overflow",
 	BugStackUnderflow: "stack-underflow", BugEgressSpecNotSet: "egress-spec-not-set",
-	BugLiveHeaderNotEmitted: "live-header-not-emitted",
+	BugLiveHeaderNotEmitted: "live-header-not-emitted", BugInfoLeak: "info-leak",
 }
 
 func (k BugKind) String() string { return bugNames[k] }
@@ -141,6 +147,32 @@ type Node struct {
 	// Instance links AssertPoint nodes (and bug nodes discovered to be
 	// dominated by one) to their table instance.
 	Instance *TableInstance
+
+	// Leak carries sink metadata for BugInfoLeak terminals (nil for
+	// every other node).
+	Leak *LeakInfo
+}
+
+// LeakInfo describes one instrumented information-flow sink check.
+type LeakInfo struct {
+	// Sink classifies the sink: "emit-field", "emit-copy", "egress-meta",
+	// "table-key" or "extern-payload".
+	Sink string
+	// Dest names the destination (field path, table key, extern call).
+	Dest string
+	// Taint is the shadow taint term of the value written to the sink;
+	// the guard branch asserts it nonzero. The dataflow pass evaluates
+	// this same term under its abstract label environment, so the static
+	// alarm set and the solver's shadow encoding agree by construction.
+	Taint *smt.Term
+}
+
+// SensitiveSource records why a variable is a taint source.
+type SensitiveSource struct {
+	// Origin is "annot" for @sensitive annotations, "policy" for the
+	// built-in default policy (well-known fields like ipv4.srcAddr).
+	Origin string
+	Pos    token.Pos
 }
 
 func (n *Node) String() string {
@@ -289,6 +321,10 @@ type Program struct {
 	// standard_metadata.egress_spec (nil when the check is disabled).
 	EgressSpecSet *Var
 
+	// Sensitive maps variable names marked as taint sources to their
+	// provenance (only populated under Options.CheckInfoFlow).
+	Sensitive map[string]*SensitiveSource
+
 	nextID int
 }
 
@@ -302,6 +338,7 @@ func NewProgram(name string) *Program {
 		Stacks:    make(map[string]*Stack),
 		Registers: make(map[string]*Register),
 		Tables:    make(map[string]*Table),
+		Sensitive: make(map[string]*SensitiveSource),
 	}
 }
 

@@ -91,6 +91,12 @@ func (b *builder) lowerAssign(st *ast.AssignStmt) {
 			return
 		}
 	}
+	if b.opts.CheckInfoFlow {
+		b.checkLeakAssign(lhs.v, rhsTerm, st.P)
+		if b.cur == nil {
+			return
+		}
+	}
 	b.assign(lhs.v, rhsTerm)
 	b.noteEgressSpecWrite(lhs.v)
 }
@@ -111,6 +117,9 @@ func (b *builder) lowerHeaderCopy(dst, src *Header, pos token.Pos) {
 	validT, invalidT := b.branch(src.Valid.Term)
 
 	b.cur = validT
+	if b.opts.CheckInfoFlow {
+		b.checkLeakCopy(dst, src, pos)
+	}
 	for i, f := range src.Fields {
 		if i < len(dst.Fields) {
 			b.assign(dst.Fields[i], f.Term)
@@ -163,8 +172,14 @@ func (b *builder) lowerFreeCall(name string, c *ast.CallExpr) {
 			b.havocLValue(c.Args[0], c.P)
 		}
 		return
-	case "digest", "clone", "clone3", "resubmit", "recirculate", "truncate",
-		"log_msg", "verify_checksum", "update_checksum",
+	case "digest", "clone", "clone3", "resubmit", "recirculate":
+		// No dataplane-visible effect in the verification model, but the
+		// payload escapes the pipeline: an information-flow sink.
+		if b.opts.CheckInfoFlow {
+			b.checkLeakExtern(name, c)
+		}
+		return
+	case "truncate", "log_msg", "verify_checksum", "update_checksum",
 		"verify_checksum_with_payload", "update_checksum_with_payload",
 		"assert", "assume":
 		return // no dataplane-visible effect in the verification model
@@ -681,6 +696,21 @@ func (b *builder) expandTable(td *ast.TableDecl, pos token.Pos) *TableInstance {
 		keyTerms[j], keyReads[j] = b.lowerKeyExpr(e, k.Width)
 	}
 	inst.KeyTerms = keyTerms
+
+	// Information flow: key values are visible to the control plane
+	// (counters, digests, match statistics), so a tainted key leaks.
+	if b.opts.CheckInfoFlow {
+		for j, k := range t.Keys {
+			if keyTerms[j] == nil || b.cur == nil {
+				continue
+			}
+			b.checkLeakTaint(b.taintOf(keyTerms[j]), "table-key",
+				fmt.Sprintf("%s of table %s", k.Path, t.Name), pos)
+		}
+		if b.cur == nil {
+			return inst
+		}
+	}
 
 	hitT, missT := b.branch(inst.HitVar.Term)
 

@@ -70,11 +70,14 @@ type Decl interface {
 	declNode()
 }
 
-// Field is a header or struct field.
+// Field is a header or struct field. Annots holds the names of the
+// annotations attached to the field (e.g. "sensitive" for @sensitive);
+// arguments are discarded.
 type Field struct {
-	P    token.Pos
-	Name string
-	Type Type
+	P      token.Pos
+	Name   string
+	Type   Type
+	Annots []string
 }
 
 func (f *Field) Pos() token.Pos { return f.P }

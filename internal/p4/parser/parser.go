@@ -152,9 +152,16 @@ func (p *parser) skipTo(kinds ...token.Kind) {
 }
 
 // skipAnnotation consumes @name or @name(...) annotations.
-func (p *parser) skipAnnotation() {
+func (p *parser) skipAnnotation() { p.parseAnnotation() }
+
+// parseAnnotation consumes @name or @name(...) and returns the
+// annotation's name ("" when malformed). Arguments are discarded — the
+// subset only cares which annotations are present (e.g. @sensitive).
+func (p *parser) parseAnnotation() string {
 	p.expect(token.AT)
+	name := ""
 	if p.tok.Kind == token.IDENT {
+		name = p.tok.Lit
 		p.advance()
 	}
 	if p.tok.Kind == token.LPAREN {
@@ -167,12 +174,13 @@ func (p *parser) skipAnnotation() {
 				depth--
 				if depth == 0 {
 					p.advance()
-					return
+					return name
 				}
 			}
 			p.advance()
 		}
 	}
+	return name
 }
 
 func (p *parser) parseProgram() *ast.Program {
@@ -334,8 +342,11 @@ func (p *parser) parseFields() []*ast.Field {
 	var fields []*ast.Field
 	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
 		mark := p.progress()
+		var annots []string
 		for p.tok.Kind == token.AT {
-			p.skipAnnotation()
+			if a := p.parseAnnotation(); a != "" {
+				annots = append(annots, a)
+			}
 		}
 		pos := p.tok.Pos
 		typ := p.parseType()
@@ -347,7 +358,7 @@ func (p *parser) parseFields() []*ast.Field {
 		}
 		name := p.expect(token.IDENT).Lit
 		p.expect(token.SEMICOLON)
-		fields = append(fields, &ast.Field{P: pos, Name: name, Type: typ})
+		fields = append(fields, &ast.Field{P: pos, Name: name, Type: typ, Annots: annots})
 		if p.stalled(mark) {
 			p.advance()
 		}

@@ -1,0 +1,174 @@
+// Command taintcheck is a repository self-check analyzer enforcing the
+// exhaustiveness of the information-flow transfer functions. The taint
+// layer has two halves that must agree operator-by-operator:
+//
+//   - internal/ir/taint.go holds the per-operator shadow transfer
+//     (taintOfRaw). Every smt.Op must appear as an explicit case there:
+//     a new term operator with no transfer rule would either panic at
+//     lowering time or — worse, if someone removed the panic — silently
+//     under-taint.
+//   - internal/analysis/taint.go holds the dataflow transfer over IR
+//     nodes. Every ir.NodeKind must appear as an explicit case for the
+//     same reason: an unclassified node kind must be a loud decision,
+//     not an accidental fall-through.
+//
+// The check is purely syntactic: it collects the exported Op constants
+// from internal/smt and the NodeKind constants from internal/ir, then
+// scans the two transfer files for `case` clauses mentioning
+// `smt.<Op>` / `ir.<Kind>` selectors. Missing names fail the build.
+// Like the other analyzers it is stdlib-only (go/ast + go/parser) and
+// runs in CI as `go run ./tools/analyzers/taintcheck .`.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+func main() {
+	root := "."
+	for _, a := range os.Args[1:] {
+		if a != "./..." && a != "." {
+			root = a
+		}
+	}
+	var problems []string
+
+	ops, err := constNames(filepath.Join(root, "internal/smt/term.go"), "Op")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(ops) == 0 {
+		fatalf("no smt.Op constants found — did internal/smt/term.go move?")
+	}
+	irCases, err := caseSelectors(filepath.Join(root, "internal/ir/taint.go"), "smt")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, op := range ops {
+		if !irCases[op] {
+			problems = append(problems,
+				fmt.Sprintf("internal/ir/taint.go: smt.%s has no explicit taint transfer case", op))
+		}
+	}
+
+	kinds, err := constNames(filepath.Join(root, "internal/ir/ir.go"), "NodeKind")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(kinds) == 0 {
+		fatalf("no ir.NodeKind constants found — did internal/ir/ir.go move?")
+	}
+	anCases, err := caseSelectors(filepath.Join(root, "internal/analysis/taint.go"), "ir")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, k := range kinds {
+		if !anCases[k] {
+			problems = append(problems,
+				fmt.Sprintf("internal/analysis/taint.go: ir.%s has no explicit label transfer case", k))
+		}
+	}
+
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "taintcheck: %d missing transfer case(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// constNames collects the names of constants of the given type declared
+// in file. It handles iota blocks: a ValueSpec with the named type
+// starts a run, and following specs in the same const block without an
+// explicit type (and without values, or repeating iota) belong to it.
+func constNames(file, typeName string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, file, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		active := false
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			switch {
+			case vs.Type != nil:
+				id, ok := vs.Type.(*ast.Ident)
+				active = ok && id.Name == typeName
+			case len(vs.Values) > 0 && !isIota(vs.Values[0]):
+				active = false
+			}
+			if !active {
+				continue
+			}
+			for _, n := range vs.Names {
+				if n.Name != "_" {
+					names = append(names, n.Name)
+				}
+			}
+		}
+	}
+	return names, nil
+}
+
+func isIota(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name == "iota"
+	case *ast.BinaryExpr:
+		return isIota(x.X) || isIota(x.Y)
+	}
+	return false
+}
+
+// caseSelectors collects every `pkg.Name` selector appearing in a case
+// clause expression anywhere in file.
+func caseSelectors(file, pkg string) (map[string]bool, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, file, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			ast.Inspect(e, func(m ast.Node) bool {
+				sel, ok := m.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkg {
+					out[sel.Sel.Name] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "taintcheck: "+format+"\n", args...)
+	os.Exit(2)
+}

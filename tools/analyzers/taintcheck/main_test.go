@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the module
+// root (the directory containing go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+func TestCollectsOpConstants(t *testing.T) {
+	root := repoRoot(t)
+	ops, err := constNames(filepath.Join(root, "internal/smt/term.go"), "Op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, o := range ops {
+		want[o] = true
+	}
+	for _, probe := range []string{"OpTrue", "OpIte", "OpConcat", "OpSExt"} {
+		if !want[probe] {
+			t.Errorf("constNames missed %s (got %v)", probe, ops)
+		}
+	}
+	if len(ops) < 20 {
+		t.Errorf("suspiciously few Op constants: %d", len(ops))
+	}
+}
+
+func TestCollectsNodeKinds(t *testing.T) {
+	root := repoRoot(t)
+	kinds, err := constNames(filepath.Join(root, "internal/ir/ir.go"), "NodeKind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	for _, probe := range []string{"Nop", "Assign", "Havoc", "Branch", "BugTerm"} {
+		if !want[probe] {
+			t.Errorf("constNames missed %s (got %v)", probe, kinds)
+		}
+	}
+	if want["BugInvalidHeaderRead"] {
+		t.Error("constNames leaked BugKind constants into the NodeKind set")
+	}
+}
+
+// TestTransfersExhaustive is the analyzer's own contract run as a unit
+// test: every Op has an ir transfer case, every NodeKind an analysis
+// case. CI also runs the command form.
+func TestTransfersExhaustive(t *testing.T) {
+	root := repoRoot(t)
+	ops, err := constNames(filepath.Join(root, "internal/smt/term.go"), "Op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	irCases, err := caseSelectors(filepath.Join(root, "internal/ir/taint.go"), "smt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if !irCases[op] {
+			t.Errorf("smt.%s has no taint transfer case in internal/ir/taint.go", op)
+		}
+	}
+	kinds, err := constNames(filepath.Join(root, "internal/ir/ir.go"), "NodeKind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anCases, err := caseSelectors(filepath.Join(root, "internal/analysis/taint.go"), "ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range kinds {
+		if !anCases[k] {
+			t.Errorf("ir.%s has no label transfer case in internal/analysis/taint.go", k)
+		}
+	}
+}
