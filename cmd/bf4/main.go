@@ -40,8 +40,31 @@ import (
 	"bf4/internal/p4/parser"
 	"bf4/internal/p4/types"
 	"bf4/internal/progs"
+	"bf4/internal/prop"
 	"bf4/internal/spec"
 )
+
+// gatherProps collects the properties for a -check=assert run: source
+// comments in the program plus an optional .props spec file.
+func gatherProps(name, src, specFile string) ([]*prop.Property, error) {
+	props, err := prop.ExtractSource(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := prop.ParseSpecFile(specFile, data)
+		if err != nil {
+			return nil, err
+		}
+		props = append(props, ps...)
+	}
+	prop.Sort(props)
+	return props, nil
+}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
@@ -66,7 +89,8 @@ func main() {
 		incrMode     = flag.String("incremental", "on", "incremental solver core: on keeps one persistent solver per slice with clause reuse, shared CNF and inprocessing between checks, off runs each check from the asserted base (verdicts are identical either way)")
 		metricsOut   = flag.String("metrics-json", "", "write run metrics as JSON to this file (\"-\" for stdout; verdicts are identical with metrics on or off)")
 		traceOut     = flag.String("trace-out", "", "write the hierarchical phase-timing tree to this file (\"-\" for stdout)")
-		check        = flag.String("check", "", "enable extra bug classes: iflow adds information-flow leak checks (sensitive data reaching egress-visible sinks) to the verified set")
+		check        = flag.String("check", "", "enable extra bug classes: iflow adds information-flow leak checks (sensitive data reaching egress-visible sinks); assert compiles user @assert/@assume properties (source comments plus -prop-spec) into the verified set")
+		propSpec     = flag.String("prop-spec", "", "with -check=assert: read additional @assert/@assume properties from this .props spec file")
 	)
 	flag.Parse()
 
@@ -123,13 +147,28 @@ func main() {
 	default:
 		fatalf("bf4: -incremental must be on or off, got %q", *incrMode)
 	}
+	checkAssert := false
 	switch *check {
 	case "":
 	case "iflow":
 		cfg.IR.CheckInfoFlow = true
 		cfg.IR.TaintDefaultPolicy = true
+	case "assert":
+		checkAssert = true
+		props, err := gatherProps(name, src, *propSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		if len(props) == 0 {
+			fatalf("bf4: -check=assert found no properties (write // @assert(...) comments or pass -prop-spec)")
+		}
+		cfg.IR.Instrument = prop.Instrumenter(props)
 	default:
-		fatalf("bf4: -check must be empty or iflow, got %q", *check)
+		fatalf("bf4: -check must be empty, iflow or assert, got %q", *check)
+	}
+	if *propSpec != "" && !checkAssert {
+		fatalf("bf4: -prop-spec requires -check=assert")
 	}
 	cfg.Slicing = !*noSlice
 	cfg.IR.DontCare = !*noDontCare
@@ -154,6 +193,27 @@ func main() {
 		st := res.Analysis.Stats
 		fmt.Printf("analysis: discharged %d/%d checks statically (%d via header-validity alone); %d lint diagnostic(s)\n",
 			st.Discharged, st.BugChecks, st.DischargedValidity, len(res.Analysis.Diags))
+	}
+	if checkAssert {
+		violated, controlled, hold := 0, 0, 0
+		for _, b := range res.InitialRep.Bugs {
+			if b.Kind != ir.BugAssertFail || b.Node.Prop == nil {
+				continue
+			}
+			info := b.Node.Prop
+			switch {
+			case !b.Reachable:
+				hold++
+				fmt.Printf("assert %s (%s): holds\n", info.Text, info.Origin)
+			case res.InferResult.Controlled[b.Node]:
+				controlled++
+				fmt.Printf("assert %s (%s): violated under arbitrary entries; controlled by inferred annotations\n", info.Text, info.Origin)
+			default:
+				violated++
+				fmt.Printf("assert %s (%s): VIOLATED (uncontrolled after inference)\n", info.Text, info.Origin)
+			}
+		}
+		fmt.Printf("assert: %d hold, %d controlled after inference, %d violated\n", hold, controlled, violated)
 	}
 	if *verbose {
 		for _, b := range res.InitialRep.Bugs {
@@ -251,11 +311,15 @@ func lintMain(args []string) {
 		taintPolicy = fs.String("taint-policy", "default", "taint source policy: default (annotations + built-in sensitive fields) or annot (annotations only)")
 		taintFamily = fs.String("taint-family", "", "lint a generated taint-exercise program: leaky or clean (sized by -switch-scale, placed by -taint-seed)")
 		taintSeed   = fs.Int("taint-seed", 1, "placement seed for -taint-family generation (deterministic per seed)")
+		propsRun    = fs.Bool("props", false, "check user @assert/@assume properties instead of the lint passes: each assert is discharged statically, confirmed with a packet witness, or dismissed as infeasible by the solver")
+		specFile    = fs.String("spec", "", "with -props: read additional properties from this .props spec file")
+		family      = fs.String("family", "", "lint a generated exercise program: props (a pipeline plus a .props spec covering all three verdict tiers; sized by -switch-scale, placed by -seed)")
+		famSeed     = fs.Int("seed", 1, "placement seed for -family generation (deterministic per seed)")
 		jobs        = fs.Int("j", 0, "confirmation solver workers (0 = 1; output identical for every value)")
 		incrMode    = fs.String("incremental", "on", "persistent confirmation solver with retractable scopes: on|off (output identical either way)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: bf4 lint [-json] [-taint] (program.p4 | -corpus name | -switch-scale n | -taint-family leaky|clean)")
+		fmt.Fprintln(os.Stderr, "usage: bf4 lint [-json] [-taint] [-props] (program.p4 | -corpus name | -switch-scale n | -taint-family leaky|clean | -family props)")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -263,7 +327,28 @@ func lintMain(args []string) {
 	}
 
 	name, src := "", ""
+	var extraProps []*prop.Property
 	switch {
+	case *family != "":
+		if *family != "props" {
+			fatalf("bf4 lint: -family must be props, got %q", *family)
+		}
+		scale := *switchScale
+		if scale <= 0 {
+			scale = 4
+		}
+		name = fmt.Sprintf("propswitch@%d.p4", scale)
+		genSrc, genProps := progs.GeneratePropSwitch(scale, *famSeed)
+		src = genSrc
+		if *specFile == "" {
+			specName := fmt.Sprintf("propswitch@%d.props", scale)
+			ps, err := prop.ParseSpecFile(specName, []byte(genProps))
+			if err != nil {
+				fatalf("bf4 lint: generated spec: %v", err)
+			}
+			extraProps = ps
+		}
+		*propsRun = true
 	case *taintFamily != "":
 		if *taintFamily != "leaky" && *taintFamily != "clean" {
 			fatalf("bf4 lint: -taint-family must be leaky or clean, got %q", *taintFamily)
@@ -291,6 +376,56 @@ func lintMain(args []string) {
 	default:
 		fs.Usage()
 		os.Exit(2)
+	}
+
+	if *propsRun {
+		if *specFile != "" {
+			data, err := os.ReadFile(*specFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(2)
+			}
+			ps, err := prop.ParseSpecFile(*specFile, data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(2)
+			}
+			extraProps = append(extraProps, ps...)
+		}
+		pcfg := driver.DefaultPropConfig()
+		pcfg.Workers = *jobs
+		switch *incrMode {
+		case "on":
+			pcfg.Incremental = true
+		case "off":
+			pcfg.Incremental = false
+		default:
+			fatalf("bf4 lint: -incremental must be on or off, got %q", *incrMode)
+		}
+		rep, err := driver.Props(name, src, extraProps, pcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		if *jsonOut {
+			data, err := rep.RenderJSON(name)
+			if err != nil {
+				fatalf("render: %v", err)
+			}
+			fmt.Printf("%s\n", data)
+		} else {
+			fmt.Print(rep.RenderText(name))
+		}
+		for _, d := range rep.Diags {
+			if d.Severity == analysis.SevError {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *specFile != "" {
+		fatalf("bf4 lint: -spec requires -props")
 	}
 
 	if *taint {

@@ -153,8 +153,14 @@ func RenderText(file string, ds []Diagnostic) string {
 	return b.String()
 }
 
+// SchemaVersion identifies the JSON report schema emitted by every
+// machine-readable rendering (lint, taint, props). Bump it when a field
+// changes meaning or goes away; adding fields keeps the version.
+const SchemaVersion = "bf4.lint.v1"
+
 // jsonReport is the machine-readable lint output schema.
 type jsonReport struct {
+	Schema      string       `json:"schema"`
 	File        string       `json:"file"`
 	Diagnostics []Diagnostic `json:"diagnostics"`
 	Errors      int          `json:"errors"`
@@ -163,7 +169,7 @@ type jsonReport struct {
 
 // RenderJSON renders diagnostics as a stable, indented JSON report.
 func RenderJSON(file string, ds []Diagnostic) ([]byte, error) {
-	rep := jsonReport{File: file, Diagnostics: ds}
+	rep := jsonReport{Schema: SchemaVersion, File: file, Diagnostics: ds}
 	if rep.Diagnostics == nil {
 		rep.Diagnostics = []Diagnostic{}
 	}

@@ -20,19 +20,23 @@ import (
 	"bf4/internal/solver"
 )
 
-// LeakVerdict is the solver's answer for one taint alarm.
-type LeakVerdict struct {
-	// Node is the BugInfoLeak terminal the verdict is about.
+// CheckVerdict is the solver's answer for one bug node handed to
+// ConfirmNodes (a taint alarm, a user @assert, ...).
+type CheckVerdict struct {
+	// Node is the bug terminal the verdict is about.
 	Node *ir.Node
-	// Confirmed means the solver found a packet (model) that carries
-	// sensitive bits to the sink; Model is that satisfying assignment.
+	// Confirmed means the solver found a packet (model) that reaches the
+	// bug node; Model is that satisfying assignment.
 	Confirmed bool
 	Model     smt.Env
-	// Discharged marks alarms dismissed without a solver query: the
+	// Discharged marks nodes dismissed without a solver query: the
 	// reachability condition was absent, already false, or folded to
 	// false by the rewrite engine.
 	Discharged bool
 }
+
+// LeakVerdict is the information-flow name for a CheckVerdict.
+type LeakVerdict = CheckVerdict
 
 // ConfirmOptions configures the confirmation phase.
 type ConfirmOptions struct {
@@ -50,26 +54,54 @@ type ConfirmOptions struct {
 	Trace *obs.Span
 }
 
-// ConfirmLeaks decides each alarm bug node with the solver. The returned
-// slice is parallel to alarms: verdict i answers alarms[i]. Verdicts do
-// not depend on Workers or Incremental — only wall-clock does.
+// ConfirmLeaks decides each alarm bug node with the solver. It is
+// ConfirmNodes under its original information-flow name, plus the iflow
+// observability counters.
 func (pl *Pipeline) ConfirmLeaks(alarms []*ir.Node, opts ConfirmOptions) ([]*LeakVerdict, time.Duration) {
+	out, dur := pl.ConfirmNodes(alarms, opts, "confirm-leaks")
+	if opts.Obs != nil {
+		confirmed, discharged := 0, 0
+		for _, v := range out {
+			if v.Confirmed {
+				confirmed++
+			}
+			if v.Discharged {
+				discharged++
+			}
+		}
+		opts.Obs.Counter("bf4_iflow_alarms_total").Add(int64(len(alarms)))
+		opts.Obs.Counter("bf4_iflow_confirmed_total").Add(int64(confirmed))
+		opts.Obs.Counter("bf4_iflow_dismissed_total").Add(int64(len(alarms) - confirmed))
+		opts.Obs.Counter("bf4_iflow_discharged_fold_total").Add(int64(discharged))
+	}
+	return out, dur
+}
+
+// ConfirmNodes decides each bug node with the solver: Confirmed with a
+// witness model when its reachability condition is satisfiable,
+// Discharged when the condition is absent or folds to false, dismissed
+// (neither flag) when the solver proves it unreachable. The returned
+// slice is parallel to nodes: verdict i answers nodes[i]. Verdicts do
+// not depend on Workers or Incremental — only wall-clock does (models
+// MAY differ across those knobs; callers needing a canonical witness
+// re-derive one deterministically).
+func (pl *Pipeline) ConfirmNodes(nodes []*ir.Node, opts ConfirmOptions, phase string) ([]*CheckVerdict, time.Duration) {
 	start := time.Now()
-	sp, done := obs.StartPhase(opts.Obs, opts.Trace, "confirm-leaks")
+	sp, done := obs.StartPhase(opts.Obs, opts.Trace, phase)
 	defer done()
 
-	out := make([]*LeakVerdict, len(alarms))
+	out := make([]*CheckVerdict, len(nodes))
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(alarms) {
-		workers = len(alarms)
+	if workers > len(nodes) {
+		workers = len(nodes)
 	}
 
 	run := func(s *solver.Solver, i int) {
-		bn := alarms[i]
-		v := &LeakVerdict{Node: bn}
+		bn := nodes[i]
+		v := &CheckVerdict{Node: bn}
 		out[i] = v
 		cond := pl.Reach.Cond[bn]
 		if cond == nil || cond.IsFalse() {
@@ -101,7 +133,7 @@ func (pl *Pipeline) ConfirmLeaks(alarms []*ir.Node, opts ConfirmOptions) ([]*Lea
 		if opts.Incremental {
 			s.SetIncremental(true)
 		}
-		for i := range alarms {
+		for i := range nodes {
 			run(s, i)
 		}
 	} else {
@@ -114,7 +146,7 @@ func (pl *Pipeline) ConfirmLeaks(alarms []*ir.Node, opts ConfirmOptions) ([]*Lea
 				if opts.Incremental {
 					s.SetIncremental(true)
 				}
-				for i := w; i < len(alarms); i += workers {
+				for i := w; i < len(nodes); i += workers {
 					run(s, i)
 				}
 			}(w)
@@ -123,20 +155,13 @@ func (pl *Pipeline) ConfirmLeaks(alarms []*ir.Node, opts ConfirmOptions) ([]*Lea
 	}
 
 	if opts.Obs != nil {
-		confirmed, discharged := 0, 0
+		confirmed := 0
 		for _, v := range out {
 			if v.Confirmed {
 				confirmed++
 			}
-			if v.Discharged {
-				discharged++
-			}
 		}
-		opts.Obs.Counter("bf4_iflow_alarms_total").Add(int64(len(alarms)))
-		opts.Obs.Counter("bf4_iflow_confirmed_total").Add(int64(confirmed))
-		opts.Obs.Counter("bf4_iflow_dismissed_total").Add(int64(len(alarms) - confirmed))
-		opts.Obs.Counter("bf4_iflow_discharged_fold_total").Add(int64(discharged))
-		sp.SetMetric("alarms", int64(len(alarms)))
+		sp.SetMetric("alarms", int64(len(nodes)))
 		sp.SetMetric("confirmed", int64(confirmed))
 	}
 	return out, time.Since(start)

@@ -1,0 +1,332 @@
+// Property-DSL orchestration: gather @assert/@assume properties from
+// source comments and .props spec files, compile them into the program
+// through the ir instrumentation hook, pre-discharge what the dataflow
+// layer can prove, and adjudicate the rest with the solver — confirming
+// each violation with a deterministic packet witness or dismissing it as
+// infeasible. The three verdict tiers mirror the built-in checks'
+// economics: discharged properties cost no solver time, dismissed ones
+// cost one unsat query, confirmed ones additionally get a canonical
+// model replayed on the concrete interpreter.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bf4/internal/analysis"
+	"bf4/internal/core"
+	"bf4/internal/dataplane"
+	"bf4/internal/ir"
+	"bf4/internal/obs"
+	"bf4/internal/p4/parser"
+	"bf4/internal/p4/types"
+	"bf4/internal/prop"
+	"bf4/internal/smt/rewrite"
+	"bf4/internal/solver"
+)
+
+// PropConfig selects options for a property run.
+type PropConfig struct {
+	// Workers is the solver-confirmation fan-out; <= 0 means one.
+	// Reports are byte-identical for every value.
+	Workers int
+	// Incremental/Rewrite mirror Config. Verdicts and witnesses are
+	// identical either way: witnesses come from a separate canonical
+	// solver pass, not from the (mode-dependent) confirmation models.
+	Incremental bool
+	Rewrite     bool
+	// Obs/Trace attach observability (nil = off, zero overhead).
+	Obs   *obs.Registry
+	Trace *obs.Span
+}
+
+// DefaultPropConfig matches lint's defaults: sequential confirmation,
+// rewrite and incremental solving on.
+func DefaultPropConfig() PropConfig {
+	return PropConfig{Incremental: true, Rewrite: true}
+}
+
+// PropReport is the result of one property run.
+type PropReport struct {
+	Name       string
+	Pipeline   *core.Pipeline
+	Properties []*prop.Property
+	Diags      []analysis.Diagnostic
+
+	// Summary counts. Checks can exceed the number of asserts when an
+	// @after table has several apply instances (one check per instance).
+	Props      int // properties gathered (asserts + assumes)
+	Assumes    int // @assume constraints spliced
+	Checks     int // assert check nodes spliced
+	Discharged int // checks proven to hold statically (no solver query)
+	Confirmed  int // checks the solver violated (with a packet witness)
+	Dismissed  int // checks the solver proved to hold (violation infeasible)
+
+	Runtime time.Duration
+}
+
+// Props compiles a program with its properties (source-comment
+// annotations plus any extra properties, e.g. from .props spec files)
+// and produces the confirmed/dismissed/discharged report. Frontend and
+// property type errors come back with positions attached.
+func Props(name, src string, extra []*prop.Property, cfg PropConfig) (*PropReport, error) {
+	start := time.Now()
+	prog, err := parser.ParseFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, parser.PrefixFile(name, err)
+	}
+
+	props, err := prop.ExtractSource(name, src)
+	if err != nil {
+		return nil, err
+	}
+	props = append(props, extra...)
+	prop.Sort(props)
+
+	opts := ir.DefaultOptions()
+	opts.Instrument = prop.Instrumenter(props)
+
+	compileSp, compileDone := obs.StartPhase(cfg.Obs, cfg.Trace, "compile")
+	pl, err := core.CompileCheckedObs(src, prog, info, opts, true, start, cfg.Obs, compileSp)
+	compileDone()
+	if err != nil {
+		return nil, parser.PrefixFile(name, err)
+	}
+	if cfg.Rewrite {
+		pl.IR.F.SetSimplifyProvider(rewrite.Provider(pl.IR.F))
+	}
+
+	rep := &PropReport{Name: name, Pipeline: pl, Properties: props, Props: len(props)}
+	byOrigin := map[string]*prop.Property{}
+	for _, pr := range props {
+		if pr.Kind == prop.Assume {
+			rep.Assumes++
+		}
+		byOrigin[pr.Origin()] = pr
+	}
+
+	// The static tier: dataflow facts (constant propagation, validity)
+	// plus plain CFG reachability retire every check they can prove.
+	_, anDone := obs.StartPhase(cfg.Obs, cfg.Trace, "prop-analysis")
+	ar := analysis.Run(pl.IR, nil)
+	reach := pl.IR.Reachable()
+	anDone()
+
+	var nodes []*ir.Node
+	for _, bn := range pl.IR.Bugs {
+		if bn.Bug == ir.BugAssertFail {
+			nodes = append(nodes, bn)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	rep.Checks = len(nodes)
+
+	var candidates []*ir.Node
+	static := map[*ir.Node]bool{}
+	for _, bn := range nodes {
+		if !reach[bn] || ar.Discharge[bn] {
+			static[bn] = true
+			continue
+		}
+		candidates = append(candidates, bn)
+	}
+
+	// The solver tier adjudicates the remainder through the standard wp
+	// reachability conditions.
+	verdicts, _ := pl.ConfirmNodes(candidates, core.ConfirmOptions{
+		Workers:     cfg.Workers,
+		Incremental: cfg.Incremental,
+		Obs:         cfg.Obs,
+		Trace:       cfg.Trace,
+	}, "confirm-props")
+	verdictOf := map[*ir.Node]*core.CheckVerdict{}
+	for _, v := range verdicts {
+		verdictOf[v.Node] = v
+	}
+
+	for _, bn := range nodes {
+		pr := byOrigin[originOf(bn)]
+		switch {
+		case static[bn]:
+			rep.Discharged++
+			rep.Diags = append(rep.Diags, propDiag(bn, pr, "discharged", ""))
+		case verdictOf[bn].Discharged:
+			// Condition folded to false without a query — same static
+			// guarantee, found one layer later.
+			rep.Discharged++
+			rep.Diags = append(rep.Diags, propDiag(bn, pr, "discharged", ""))
+		case verdictOf[bn].Confirmed:
+			rep.Confirmed++
+			rep.Diags = append(rep.Diags, propDiag(bn, pr, "confirmed", canonicalWitness(pl, bn, pr)))
+		default:
+			rep.Dismissed++
+			rep.Diags = append(rep.Diags, propDiag(bn, pr, "dismissed", ""))
+		}
+	}
+	rep.Diags = analysis.SortAndDedupe(rep.Diags)
+
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("bf4_prop_checks_total").Add(int64(rep.Checks))
+		cfg.Obs.Counter("bf4_prop_discharged_total").Add(int64(rep.Discharged))
+		cfg.Obs.Counter("bf4_prop_confirmed_total").Add(int64(rep.Confirmed))
+		cfg.Obs.Counter("bf4_prop_dismissed_total").Add(int64(rep.Dismissed))
+	}
+	rep.Runtime = time.Since(start)
+	return rep, nil
+}
+
+func originOf(bn *ir.Node) string {
+	if bn.Prop == nil {
+		return ""
+	}
+	return bn.Prop.Origin
+}
+
+// canonicalWitness derives the packet witness reported for a confirmed
+// violation. The confirmation phase's models depend on worker count and
+// solver mode, so the report never uses them: a fresh plain solver
+// re-solves the check's reachability condition sequentially (the term is
+// fixed at compile time, so the model is reproducible), and the model is
+// replayed on the concrete interpreter to read off the fields the
+// property mentions.
+func canonicalWitness(pl *core.Pipeline, bn *ir.Node, pr *prop.Property) string {
+	cond := pl.Reach.Cond[bn]
+	if cond == nil {
+		return ""
+	}
+	s := solver.New(pl.IR.F)
+	if s.Check(cond) != solver.Sat {
+		return ""
+	}
+	interp := &dataplane.Interp{P: pl.IR, Model: s.Model(), Pass: pl.Pass}
+	tr, err := interp.Run()
+	if err != nil || tr.Terminal != bn {
+		return ""
+	}
+	names := []string{"smeta.ingress_port"}
+	if pr != nil {
+		names = append(names, prop.DataVars(pr.Expr)...)
+	}
+	sort.Strings(names)
+	var parts []string
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if v, ok := tr.State[name]; ok && v != nil {
+			parts = append(parts, fmt.Sprintf("%s=%v", display(name), v))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// display maps internal variable names back to source-level spelling.
+func display(name string) string {
+	name = strings.TrimSuffix(name, ".$valid")
+	if rest, ok := strings.CutPrefix(name, "smeta."); ok {
+		return "standard_metadata." + rest
+	}
+	return name
+}
+
+// propDiag renders one property check verdict as a diagnostic.
+// Source-comment properties anchor to their P4 position; spec-file
+// properties keep their origin in the message (anchoring them to the P4
+// file would point at nothing).
+func propDiag(bn *ir.Node, pr *prop.Property, status, witness string) analysis.Diagnostic {
+	info := bn.Prop
+	d := analysis.Diagnostic{Pass: "prop", Witness: witness}
+	text := bn.Comment
+	origin := ""
+	if info != nil {
+		text = fmt.Sprintf("assert (%s)", info.Text)
+		if info.FromSource {
+			d.Line = info.Line
+			d.Col = info.Col
+		} else {
+			origin = fmt.Sprintf(" [%s]", info.Origin)
+		}
+	}
+	switch status {
+	case "confirmed":
+		d.Severity = analysis.SevError
+		d.Msg = fmt.Sprintf("property violated: %s%s", text, origin)
+	case "dismissed":
+		d.Severity = analysis.SevInfo
+		d.Msg = fmt.Sprintf("property holds: %s — violation infeasible (solver)%s", text, origin)
+	default:
+		d.Severity = analysis.SevInfo
+		d.Msg = fmt.Sprintf("property holds: %s — discharged statically%s", text, origin)
+	}
+	return d
+}
+
+// summaryLine is the stable one-line property summary appended to both
+// renderings.
+func (r *PropReport) summaryLine() string {
+	return fmt.Sprintf("props: %d propert%s, %d check(s), %d confirmed, %d dismissed, %d discharged, %d assume(s)",
+		r.Props, plural(r.Props, "y", "ies"), r.Checks, r.Confirmed, r.Dismissed, r.Discharged, r.Assumes)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// RenderText renders the property report like lint output, with the
+// property summary line appended after the diagnostic count.
+func (r *PropReport) RenderText(file string) string {
+	return analysis.RenderText(file, r.Diags) + r.summaryLine() + "\n"
+}
+
+// propJSON is the machine-readable property report schema: the lint
+// schema plus a "props" summary object.
+type propJSON struct {
+	Schema      string                `json:"schema"`
+	File        string                `json:"file"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	Errors      int                   `json:"errors"`
+	Warnings    int                   `json:"warnings"`
+	PropsObj    struct {
+		Properties int `json:"properties"`
+		Checks     int `json:"checks"`
+		Confirmed  int `json:"confirmed"`
+		Dismissed  int `json:"dismissed"`
+		Discharged int `json:"discharged"`
+		Assumes    int `json:"assumes"`
+	} `json:"props"`
+}
+
+// RenderJSON renders the property report as stable, indented JSON.
+func (r *PropReport) RenderJSON(file string) ([]byte, error) {
+	rep := propJSON{Schema: analysis.SchemaVersion, File: file, Diagnostics: r.Diags}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []analysis.Diagnostic{}
+	}
+	for _, d := range r.Diags {
+		switch d.Severity {
+		case analysis.SevError:
+			rep.Errors++
+		case analysis.SevWarning:
+			rep.Warnings++
+		}
+	}
+	rep.PropsObj.Properties = r.Props
+	rep.PropsObj.Checks = r.Checks
+	rep.PropsObj.Confirmed = r.Confirmed
+	rep.PropsObj.Dismissed = r.Dismissed
+	rep.PropsObj.Discharged = r.Discharged
+	rep.PropsObj.Assumes = r.Assumes
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -198,6 +198,7 @@ func (r *TaintReport) RenderText(file string) string {
 // taintJSON is the machine-readable taint report schema: the lint
 // schema plus a "taint" summary object.
 type taintJSON struct {
+	Schema      string                `json:"schema"`
 	File        string                `json:"file"`
 	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
 	Errors      int                   `json:"errors"`
@@ -213,7 +214,7 @@ type taintJSON struct {
 
 // RenderJSON renders the taint report as stable, indented JSON.
 func (r *TaintReport) RenderJSON(file string) ([]byte, error) {
-	rep := taintJSON{File: file, Diagnostics: r.Diags}
+	rep := taintJSON{Schema: analysis.SchemaVersion, File: file, Diagnostics: r.Diags}
 	if rep.Diagnostics == nil {
 		rep.Diagnostics = []analysis.Diagnostic{}
 	}

@@ -57,6 +57,16 @@ type Options struct {
 	// UnrollSlack adds extra parser unroll budget beyond the computed
 	// bound.
 	UnrollSlack int
+
+	// Instrument, when non-nil, runs after lowering completes and may
+	// splice additional instrumentation into the CFG before
+	// passification — the hook the property DSL (internal/prop) uses to
+	// compile user @assert/@assume predicates into BugAssertFail nodes.
+	// It sees the finished program (anchors, instances, variables); an
+	// error aborts the build. Because the hook travels inside Options,
+	// the Fixes rebuild loop re-instruments the fixed program
+	// automatically, so user properties survive re-verification.
+	Instrument func(*Program) error
 }
 
 // DefaultOptions enables every instrumentation, matching the paper's
@@ -91,6 +101,11 @@ func Build(prog *ast.Program, info *types.Info, opts Options) (*Program, error) 
 			msgs[i] = e.Error()
 		}
 		return nil, errors.New(strings.Join(msgs, "\n"))
+	}
+	if opts.Instrument != nil {
+		if err := opts.Instrument(b.p); err != nil {
+			return nil, err
+		}
 	}
 	return b.p, nil
 }
@@ -322,6 +337,7 @@ func (b *builder) run(prog *ast.Program) error {
 
 	// Parser.
 	ingressEntry := b.nop("ingress-entry")
+	b.p.IngressEntry = ingressEntry
 	if pl.Parser != nil {
 		b.ctl = nil
 		b.roles = b.rolesOfParser(pl.Parser)
@@ -336,6 +352,7 @@ func (b *builder) run(prog *ast.Program) error {
 	// Ingress.
 	b.cur = ingressEntry
 	ingressEnd := b.nop("ingress-end")
+	b.p.IngressEnd = ingressEnd
 	if pl.Ingress != nil {
 		b.buildControl(pl.Ingress, ingressEnd)
 	}

@@ -64,6 +64,12 @@ const (
 	// standard metadata, a table key, or a clone/digest payload. Opt-in
 	// via Options.CheckInfoFlow; see taint.go.
 	BugInfoLeak
+	// BugAssertFail fires when a user-written @assert property (the
+	// property DSL, internal/prop) is violated. The property compiler
+	// splices these through Options.Instrument using the same guarded
+	// shape as built-in checks, so dataflow discharge, wp, Infer and
+	// Fixes treat user properties like any other bug class.
+	BugAssertFail
 )
 
 var bugNames = map[BugKind]string{
@@ -73,6 +79,7 @@ var bugNames = map[BugKind]string{
 	BugRegisterOOB: "register-oob", BugStackOverflow: "stack-overflow",
 	BugStackUnderflow: "stack-underflow", BugEgressSpecNotSet: "egress-spec-not-set",
 	BugLiveHeaderNotEmitted: "live-header-not-emitted", BugInfoLeak: "info-leak",
+	BugAssertFail: "assert-fail",
 }
 
 func (k BugKind) String() string { return bugNames[k] }
@@ -151,6 +158,29 @@ type Node struct {
 	// Leak carries sink metadata for BugInfoLeak terminals (nil for
 	// every other node).
 	Leak *LeakInfo
+
+	// Prop carries origin metadata for BugAssertFail terminals and
+	// assume branches spliced by the property compiler (nil for every
+	// other node).
+	Prop *PropInfo
+}
+
+// PropInfo links an instrumented node back to the user property it
+// implements, so diagnostics can carry the property's own origin
+// (source comment or .props spec file) rather than an IR position.
+type PropInfo struct {
+	// Kind is "assert" or "assume".
+	Kind string
+	// Origin is the property's declaration site, "file:line:col".
+	Origin string
+	// Text is the original predicate text as written by the user.
+	Text string
+	// FromSource marks properties extracted from P4 source comments
+	// (their Origin line/col is valid within the analyzed file, so lint
+	// diagnostics may anchor to it).
+	FromSource bool
+	// Line/Col are the declaration position within Origin's file.
+	Line, Col int
 }
 
 // LeakInfo describes one instrumented information-flow sink check.
@@ -324,6 +354,13 @@ type Program struct {
 	// Sensitive maps variable names marked as taint sources to their
 	// provenance (only populated under Options.CheckInfoFlow).
 	Sensitive map[string]*SensitiveSource
+
+	// IngressEntry/IngressEnd are the nop anchors bracketing the ingress
+	// control; the property compiler (internal/prop) splices @assume
+	// checks after IngressEntry and end-of-control @assert checks after
+	// IngressEnd. Set by the builder; nil in hand-built programs.
+	IngressEntry *Node
+	IngressEnd   *Node
 
 	nextID int
 }

@@ -1,0 +1,192 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GeneratePropSwitch deterministically produces a pipeline plus a .props
+// spec that exercises all three property verdict tiers. It is not part
+// of the default corpus (progs.All) — `bf4 lint -props -family props`
+// and the property tests generate it on demand.
+//
+// The program is a scale-wide classify/forward pipeline (the taintgen
+// skeleton without the credential header) with two seeded features:
+//
+//   - an unconditional `meta.m.guard = 8w7` at ingress entry, making the
+//     spec's `@assert(meta.m.guard == 8w7)` provable by constant
+//     propagation alone (discharged: no solver query);
+//   - a two-branch gadget (flag is set only when scratch == 1, scratch
+//     is written only under diffserv == 1, the flag write requires
+//     diffserv == 2) whose `@assert(meta.m.flag != 8w1)` the dataflow
+//     cannot prove but the solver dismisses: no single packet takes both
+//     branches.
+//
+// Two asserts are genuine violations the solver confirms with packet
+// witnesses, chosen to sit on opposite sides of the inference boundary:
+//
+//   - `@after(fwd_0) (egress_spec != 0)` fails on action DATA (an
+//     arbitrary controller can install forward(port=0)), which no
+//     hit/action-cube annotation can forbid — it stays a dataplane bug;
+//   - `@after(classify_0) (hit(classify_0) -> action_run(classify_0) !=
+//     drop_)` fails on action SELECTION, so `bf4 -check=assert` infers
+//     the annotation forbidding hit∧drop_ in classify_0 and the
+//     property verifies after inference.
+//
+// The seed shuffles which slice hosts the gadget (and the source-comment
+// @assume exercising inline extraction), so positions differ per seed
+// while the verdict set does not. Same scale+seed, same bytes — the
+// property golden tests and the CI determinism job depend on that.
+func GeneratePropSwitch(scale, seed int) (src, props string) {
+	if scale < 1 {
+		scale = 1
+	}
+	g := &taintLCG{state: uint32(seed)*2654435761 + 1}
+	gadgetAt := g.next(scale)
+
+	var b strings.Builder
+	w := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, format, args...)
+		b.WriteString("\n")
+	}
+
+	w(`// Generated property-exercise switch, scale %d, seed %d.`, scale, seed)
+	w(`header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct prop_meta_t {
+    bit<16> fwd_class;
+    bit<8>  stage;
+    bit<8>  guard;
+    bit<32> scratch;
+    bit<8>  flag;
+}
+
+struct metadata {
+    prop_meta_t m;
+}
+
+struct headers {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+}
+
+parser PgParser(packet_in pkt, out headers hdr, inout metadata meta,
+                inout standard_metadata_t smeta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            16w0x800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition accept;
+    }
+}
+
+control PgIngress(inout headers hdr, inout metadata meta,
+                  inout standard_metadata_t smeta) {
+    action drop_() {
+        mark_to_drop(smeta);
+    }
+    action set_class(bit<16> cls) {
+        meta.m.fwd_class = cls;
+    }
+    action forward(bit<9> port) {
+        smeta.egress_spec = port;
+    }`)
+
+	for i := 0; i < scale; i++ {
+		w(`
+    action tag_stage_%d() {
+        meta.m.stage = 8w%d;
+    }
+    table classify_%d {
+        key = {
+            hdr.ethernet.dstAddr: exact;
+            hdr.ipv4.isValid(): exact;
+        }
+        actions = { set_class; tag_stage_%d; drop_; }
+        default_action = drop_();
+    }
+    table fwd_%d {
+        key = { meta.m.fwd_class: exact; }
+        actions = { forward; drop_; }
+        default_action = drop_();
+    }`, i, i%250, i, i, i)
+	}
+
+	w(`
+    apply {
+        // @assume(hdr.ethernet.etherType != 16w0xBEEF)
+        meta.m.guard = 8w7;`)
+	for i := 0; i < scale; i++ {
+		w(`        classify_%d.apply();`, i)
+		w(`        fwd_%d.apply();`, i)
+		if i == gadgetAt {
+			w(`        if (hdr.ipv4.isValid()) {
+            if (hdr.ipv4.diffserv == 8w1) {
+                meta.m.scratch = 32w1;
+            }
+            if (hdr.ipv4.diffserv == 8w2) {
+                if (meta.m.scratch == 32w1) {
+                    meta.m.flag = 8w1;
+                }
+            }
+        }`)
+		}
+	}
+	w(`    }
+}
+
+control PgEgress(inout headers hdr, inout metadata meta,
+                 inout standard_metadata_t smeta) {
+    action rewrite_smac(bit<48> smac) {
+        hdr.ethernet.srcAddr = smac;
+    }
+    table egress_rewrite {
+        key = { smeta.egress_port: exact; }
+        actions = { rewrite_smac; NoAction; }
+    }
+    apply {
+        egress_rewrite.apply();
+    }
+}
+
+control PgDeparser(packet_out pkt, in headers hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+V1Switch(PgParser(), PgIngress(), PgEgress(), PgDeparser()) main;`)
+
+	var s strings.Builder
+	fmt.Fprintf(&s, "# Generated property spec for the prop-exercise switch, scale %d, seed %d.\n", scale, seed)
+	s.WriteString("# Two confirmed violations (one inferable, one dataplane), one solver-dismissed\n")
+	s.WriteString("# assert, one statically-discharged assert.\n")
+	s.WriteString("@assume(standard_metadata.ingress_port != 9w511)\n")
+	s.WriteString("@assert @after(fwd_0) (standard_metadata.egress_spec != 9w0)\n")
+	s.WriteString("@assert @after(classify_0) (hit(classify_0) -> action_run(classify_0) != drop_)\n")
+	s.WriteString("@assert(meta.m.flag != 8w1)\n")
+	s.WriteString("@assert(meta.m.guard == 8w7)\n")
+
+	return b.String(), s.String()
+}

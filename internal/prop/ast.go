@@ -1,0 +1,141 @@
+// Package prop implements bf4's user-facing property DSL: boolean
+// @assert/@assume predicates over header fields, validity bits, standard
+// metadata and table hit/action state, written either as P4 source
+// comments or in standalone .props spec files. Properties are lexed and
+// parsed here (with file:line:col positions), typechecked against the
+// lowered program's variables and table instances, desugared (`->`,
+// isValid(), hit(table), miss(table), action_run(table) == a) and
+// compiled into guarded BugAssertFail nodes spliced into the IR through
+// ir.Options.Instrument — after which the whole existing pipeline
+// (dataflow pre-discharge, wp, solver adjudication, Infer, Fixes, the
+// runtime shim) handles user properties exactly like built-in checks.
+package prop
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Pos is a source position inside a property's origin (a P4 file or a
+// .props spec file). Line and Col are 1-based.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Expr is a property-DSL expression node. The concrete kinds below are
+// the closed set the typechecker (check.go) and the IR compiler
+// (compile.go) must each handle exhaustively — enforced syntactically by
+// tools/analyzers/propcheck.
+type Expr interface {
+	ExprPos() Pos
+	String() string
+}
+
+// PathExpr is a dotted name: a header/metadata field reference
+// (hdr.ipv4.ttl, meta.m.tag, standard_metadata.egress_spec) or — as the
+// right operand of an action_run comparison — a bare action name.
+type PathExpr struct {
+	Parts []string
+	Pos   Pos
+}
+
+// IntExpr is an integer literal, optionally carrying an explicit P4
+// width (9w0, 16w0x800). Width 0 means unsized: the typechecker adapts
+// it to the width of the other operand.
+type IntExpr struct {
+	Value *big.Int
+	Width int
+	Pos   Pos
+}
+
+// BoolExpr is `true` or `false`.
+type BoolExpr struct {
+	Value bool
+	Pos   Pos
+}
+
+// ValidExpr is the desugared form of `<header>.isValid()`.
+type ValidExpr struct {
+	Header *PathExpr // the header path, without the .isValid() suffix
+	Pos    Pos
+}
+
+// HitExpr is `hit(table)`; `miss(table)` parses as !hit(table).
+type HitExpr struct {
+	Table string
+	Pos   Pos
+}
+
+// ActionExpr is `action_run(table)`. It has the opaque "action selector
+// of <table>" type and may only appear as an operand of == or != whose
+// other side names one of the table's actions.
+type ActionExpr struct {
+	Table string
+	Pos   Pos
+}
+
+// UnaryExpr is !x (boolean), ~x (bitwise) or -x (arithmetic).
+type UnaryExpr struct {
+	Op string
+	X  Expr
+	Pos
+}
+
+// BinaryExpr covers ->, ||, &&, comparisons, bitwise and additive
+// operators. `->` desugars to implication during compilation.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+	Pos
+}
+
+func (e *PathExpr) ExprPos() Pos   { return e.Pos }
+func (e *IntExpr) ExprPos() Pos    { return e.Pos }
+func (e *BoolExpr) ExprPos() Pos   { return e.Pos }
+func (e *ValidExpr) ExprPos() Pos  { return e.Pos }
+func (e *HitExpr) ExprPos() Pos    { return e.Pos }
+func (e *ActionExpr) ExprPos() Pos { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }
+
+func (e *PathExpr) String() string {
+	out := ""
+	for i, p := range e.Parts {
+		if i > 0 {
+			out += "."
+		}
+		out += p
+	}
+	return out
+}
+
+func (e *IntExpr) String() string {
+	if e.Width > 0 {
+		return fmt.Sprintf("%dw%s", e.Width, e.Value)
+	}
+	return e.Value.String()
+}
+
+func (e *BoolExpr) String() string {
+	if e.Value {
+		return "true"
+	}
+	return "false"
+}
+
+func (e *ValidExpr) String() string  { return e.Header.String() + ".isValid()" }
+func (e *HitExpr) String() string    { return "hit(" + e.Table + ")" }
+func (e *ActionExpr) String() string { return "action_run(" + e.Table + ")" }
+func (e *UnaryExpr) String() string  { return e.Op + e.X.String() }
+func (e *BinaryExpr) String() string {
+	return "(" + e.X.String() + " " + e.Op + " " + e.Y.String() + ")"
+}

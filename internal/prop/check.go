@@ -1,0 +1,357 @@
+package prop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bf4/internal/ir"
+)
+
+// vkind is the property-DSL type kind.
+type vkind int
+
+const (
+	vBool   vkind = iota
+	vBV           // sized bit-vector
+	vInt          // unsized integer literal, adapts to a sized operand
+	vAction       // opaque action selector of a table instance
+)
+
+// vtype is the property-DSL type of an expression.
+type vtype struct {
+	kind  vkind
+	width int               // for vBV
+	inst  *ir.TableInstance // for vAction
+}
+
+func (t vtype) String() string {
+	switch t.kind {
+	case vBool:
+		return "bool"
+	case vBV:
+		return fmt.Sprintf("bit<%d>", t.width)
+	case vInt:
+		return "int"
+	default:
+		return fmt.Sprintf("action selector of %s", t.inst.Table.Name)
+	}
+}
+
+// checked is the resolution side-table the typechecker fills in and the
+// compiler consumes: every name is bound to an IR entity here, so
+// compile.go is a pure term constructor.
+type checked struct {
+	types    map[Expr]vtype
+	vars     map[*PathExpr]*ir.Var      // field paths → program vars
+	valids   map[*ValidExpr]*ir.Var     // header paths → validity bits
+	insts    map[Expr]*ir.TableInstance // Hit/Action exprs → instances
+	actIdx   map[*PathExpr]int          // action-name operands → ActIndex value
+	intWidth map[*IntExpr]int           // adapted widths for unsized literals
+}
+
+// checker typechecks one property expression against a lowered program.
+// anchor, when non-nil, is the table instance the property is spliced
+// behind (@after): hit/action_run references to the anchor's table
+// resolve to that exact instance; references to other tables resolve to
+// the last instance in program order.
+type checker struct {
+	p      *ir.Program
+	anchor *ir.TableInstance
+	c      *checked
+}
+
+func newChecker(p *ir.Program, anchor *ir.TableInstance) *checker {
+	return &checker{p: p, anchor: anchor, c: &checked{
+		types:    map[Expr]vtype{},
+		vars:     map[*PathExpr]*ir.Var{},
+		valids:   map[*ValidExpr]*ir.Var{},
+		insts:    map[Expr]*ir.TableInstance{},
+		actIdx:   map[*PathExpr]int{},
+		intWidth: map[*IntExpr]int{},
+	}}
+}
+
+// checkProperty typechecks the whole property: the predicate must be
+// boolean.
+func (ck *checker) checkProperty(pr *Property) error {
+	t, err := ck.check(pr.Expr)
+	if err != nil {
+		return err
+	}
+	if t.kind != vBool {
+		return fmt.Errorf("%s: property predicate has type %s, want bool", pr.Expr.ExprPos(), t)
+	}
+	return nil
+}
+
+// resolvePath maps a dotted property path onto the lowered variable
+// namespace. standard_metadata is an alias for the internal smeta
+// prefix.
+func (ck *checker) resolvePath(e *PathExpr) (string, error) {
+	if len(e.Parts) < 2 {
+		return "", fmt.Errorf("%s: %q is not a field reference; paths start with hdr., meta. or standard_metadata.", e.Pos, e.String())
+	}
+	root := e.Parts[0]
+	switch root {
+	case "standard_metadata":
+		root = "smeta"
+	case "hdr", "meta", "smeta":
+	default:
+		return "", fmt.Errorf("%s: unknown name %q; paths start with hdr., meta. or standard_metadata.", e.Pos, root)
+	}
+	return root + "." + strings.Join(e.Parts[1:], "."), nil
+}
+
+// instancesOf returns the expansion instances of the named table in
+// program order, or an error naming the known tables when absent.
+func (ck *checker) instancesOf(table string, pos Pos) ([]*ir.TableInstance, error) {
+	var out []*ir.TableInstance
+	for _, inst := range ck.p.Instances {
+		if inst.Table.Name == table {
+			out = append(out, inst)
+		}
+	}
+	if len(out) == 0 {
+		known := make([]string, 0, len(ck.p.Tables))
+		for name := range ck.p.Tables {
+			known = append(known, name)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("%s: unknown table %q (known: %s)", pos, table, strings.Join(known, ", "))
+	}
+	return out, nil
+}
+
+// resolveInstance picks the instance a hit/action_run reference binds
+// to: the anchor instance when the property is anchored @after the same
+// table, otherwise the last apply of that table.
+func (ck *checker) resolveInstance(table string, pos Pos) (*ir.TableInstance, error) {
+	if ck.anchor != nil && ck.anchor.Table.Name == table {
+		return ck.anchor, nil
+	}
+	insts, err := ck.instancesOf(table, pos)
+	if err != nil {
+		return nil, err
+	}
+	return insts[len(insts)-1], nil
+}
+
+// check computes the type of e, binding names into the side-table. The
+// switch below must stay exhaustive over every Expr kind in ast.go —
+// enforced by tools/analyzers/propcheck.
+func (ck *checker) check(e Expr) (vtype, error) {
+	switch e := e.(type) {
+	case *PathExpr:
+		name, err := ck.resolvePath(e)
+		if err != nil {
+			return vtype{}, err
+		}
+		v, ok := ck.p.Vars[name]
+		if !ok {
+			return vtype{}, fmt.Errorf("%s: no field %q in the program (resolved to %q)", e.Pos, e.String(), name)
+		}
+		ck.c.vars[e] = v
+		if v.Sort.IsBool() {
+			return ck.remember(e, vtype{kind: vBool})
+		}
+		return ck.remember(e, vtype{kind: vBV, width: v.Sort.Width})
+
+	case *IntExpr:
+		if e.Width > 0 {
+			if e.Value.Sign() < 0 || e.Value.BitLen() > e.Width {
+				return vtype{}, fmt.Errorf("%s: literal %s does not fit in bit<%d>", e.Pos, e.Value, e.Width)
+			}
+			return ck.remember(e, vtype{kind: vBV, width: e.Width})
+		}
+		if e.Value.Sign() < 0 {
+			return vtype{}, fmt.Errorf("%s: negative literals need an explicit width", e.Pos)
+		}
+		return ck.remember(e, vtype{kind: vInt})
+
+	case *BoolExpr:
+		return ck.remember(e, vtype{kind: vBool})
+
+	case *ValidExpr:
+		name, err := ck.resolvePath(e.Header)
+		if err != nil {
+			return vtype{}, err
+		}
+		h, ok := ck.p.Headers[name]
+		if !ok {
+			return vtype{}, fmt.Errorf("%s: %q is not a header, cannot take isValid()", e.Pos, e.Header.String())
+		}
+		ck.c.valids[e] = h.Valid
+		return ck.remember(e, vtype{kind: vBool})
+
+	case *HitExpr:
+		inst, err := ck.resolveInstance(e.Table, e.Pos)
+		if err != nil {
+			return vtype{}, err
+		}
+		ck.c.insts[e] = inst
+		return ck.remember(e, vtype{kind: vBool})
+
+	case *ActionExpr:
+		inst, err := ck.resolveInstance(e.Table, e.Pos)
+		if err != nil {
+			return vtype{}, err
+		}
+		ck.c.insts[e] = inst
+		return ck.remember(e, vtype{kind: vAction, inst: inst})
+
+	case *UnaryExpr:
+		t, err := ck.check(e.X)
+		if err != nil {
+			return vtype{}, err
+		}
+		switch e.Op {
+		case "!":
+			if t.kind != vBool {
+				return vtype{}, fmt.Errorf("%s: operand of ! has type %s, want bool", e.X.ExprPos(), t)
+			}
+			return ck.remember(e, vtype{kind: vBool})
+		default: // "~", "-"
+			if t.kind != vBV {
+				return vtype{}, fmt.Errorf("%s: operand of %s has type %s, want a sized bit-vector", e.X.ExprPos(), e.Op, t)
+			}
+			return ck.remember(e, vtype{kind: vBV, width: t.width})
+		}
+
+	case *BinaryExpr:
+		return ck.checkBinary(e)
+	}
+	return vtype{}, fmt.Errorf("%s: unhandled property expression %T", e.ExprPos(), e)
+}
+
+func (ck *checker) checkBinary(e *BinaryExpr) (vtype, error) {
+	// Action comparisons are special-cased before recursion: the action
+	// name operand is a bare identifier, not a field path.
+	if e.Op == "==" || e.Op == "!=" {
+		if ae, path, swapped := actionCompare(e); ae != nil {
+			if path == nil {
+				return vtype{}, fmt.Errorf("%s: action_run(...) compares against an action name", e.ExprPos())
+			}
+			_ = swapped
+			if _, err := ck.check(ae); err != nil {
+				return vtype{}, err
+			}
+			inst := ck.c.insts[ae]
+			if len(path.Parts) != 1 {
+				return vtype{}, fmt.Errorf("%s: %q is not an action of table %s", path.Pos, path.String(), inst.Table.Name)
+			}
+			idx, ok := inst.ActIndex[path.Parts[0]]
+			if !ok {
+				known := make([]string, 0, len(inst.ActIndex))
+				for name := range inst.ActIndex {
+					known = append(known, name)
+				}
+				sort.Strings(known)
+				return vtype{}, fmt.Errorf("%s: table %s has no action %q (actions: %s)", path.Pos, inst.Table.Name, path.Parts[0], strings.Join(known, ", "))
+			}
+			ck.c.actIdx[path] = idx
+			return ck.remember(e, vtype{kind: vBool})
+		}
+	}
+
+	tx, err := ck.check(e.X)
+	if err != nil {
+		return vtype{}, err
+	}
+	ty, err := ck.check(e.Y)
+	if err != nil {
+		return vtype{}, err
+	}
+	if tx.kind == vAction || ty.kind == vAction {
+		return vtype{}, fmt.Errorf("%s: action_run(...) may only be compared (==/!=) against an action name", e.ExprPos())
+	}
+
+	switch e.Op {
+	case "->", "||", "&&":
+		if tx.kind != vBool || ty.kind != vBool {
+			return vtype{}, fmt.Errorf("%s: operands of %s have types %s and %s, want bool", e.ExprPos(), e.Op, tx, ty)
+		}
+		return ck.remember(e, vtype{kind: vBool})
+
+	case "==", "!=":
+		if tx.kind == vBool && ty.kind == vBool {
+			return ck.remember(e, vtype{kind: vBool})
+		}
+		if _, err := ck.adapt(e, tx, ty); err != nil {
+			return vtype{}, err
+		}
+		return ck.remember(e, vtype{kind: vBool})
+
+	case "<", "<=", ">", ">=":
+		if _, err := ck.adapt(e, tx, ty); err != nil {
+			return vtype{}, err
+		}
+		return ck.remember(e, vtype{kind: vBool})
+
+	default: // "|", "^", "&", "+", "-"
+		w, err := ck.adapt(e, tx, ty)
+		if err != nil {
+			return vtype{}, err
+		}
+		return ck.remember(e, vtype{kind: vBV, width: w})
+	}
+}
+
+// adapt unifies the widths of a bit-vector binary operation, sizing an
+// unsized literal to the other operand. Comparisons are unsigned.
+func (ck *checker) adapt(e *BinaryExpr, tx, ty vtype) (int, error) {
+	badOperands := func() error {
+		return fmt.Errorf("%s: operands of %s have types %s and %s, want bit-vectors of one width", e.ExprPos(), e.Op, tx, ty)
+	}
+	switch {
+	case tx.kind == vBV && ty.kind == vBV:
+		if tx.width != ty.width {
+			return 0, badOperands()
+		}
+		return tx.width, nil
+	case tx.kind == vBV && ty.kind == vInt:
+		return tx.width, ck.sizeLiteral(e.Y.(*IntExpr), tx.width)
+	case tx.kind == vInt && ty.kind == vBV:
+		return ty.width, ck.sizeLiteral(e.X.(*IntExpr), ty.width)
+	case tx.kind == vInt && ty.kind == vInt:
+		return 0, fmt.Errorf("%s: cannot infer a width for %s between two unsized literals; size one (e.g. 8w%s)", e.ExprPos(), e.Op, exprText(e.X))
+	default:
+		return 0, badOperands()
+	}
+}
+
+func exprText(e Expr) string {
+	if ie, ok := e.(*IntExpr); ok {
+		return ie.Value.String()
+	}
+	return e.String()
+}
+
+func (ck *checker) sizeLiteral(e *IntExpr, width int) error {
+	if e.Value.BitLen() > width {
+		return fmt.Errorf("%s: literal %s does not fit in bit<%d>", e.Pos, e.Value, width)
+	}
+	ck.c.intWidth[e] = width
+	return nil
+}
+
+func (ck *checker) remember(e Expr, t vtype) (vtype, error) {
+	ck.c.types[e] = t
+	return t, nil
+}
+
+// actionCompare recognizes `action_run(t) == name` / `name != action_run(t)`
+// shapes. Returns the ActionExpr side and the name side (nil when the
+// other operand is not a bare path); (nil, nil, false) when neither side
+// is an ActionExpr.
+func actionCompare(e *BinaryExpr) (*ActionExpr, *PathExpr, bool) {
+	if ae, ok := e.X.(*ActionExpr); ok {
+		path, _ := e.Y.(*PathExpr)
+		return ae, path, false
+	}
+	if ae, ok := e.Y.(*ActionExpr); ok {
+		path, _ := e.X.(*PathExpr)
+		return ae, path, true
+	}
+	return nil, nil, false
+}

@@ -1,0 +1,119 @@
+package prop
+
+import (
+	"fmt"
+
+	"bf4/internal/ir"
+	"bf4/internal/smt"
+)
+
+// compiler lowers a typechecked property expression to an smt term over
+// the program's version-0 variable terms (passification later rewrites
+// them to SSA versions along with the rest of the IR). Every name was
+// already bound by the typechecker, so compilation cannot fail on
+// user input; an unbound node here is a compiler bug and panics.
+type compiler struct {
+	p *ir.Program
+	c *checked
+	f *smt.Factory
+}
+
+func newCompiler(p *ir.Program, c *checked) *compiler {
+	return &compiler{p: p, c: c, f: p.F}
+}
+
+// compile lowers e. The switch below must stay exhaustive over every
+// Expr kind in ast.go — enforced by tools/analyzers/propcheck.
+func (cp *compiler) compile(e Expr) *smt.Term {
+	switch e := e.(type) {
+	case *PathExpr:
+		v := cp.c.vars[e]
+		if v == nil {
+			panic(fmt.Sprintf("prop: path %s not resolved by typechecker", e))
+		}
+		return v.Term
+
+	case *IntExpr:
+		w := e.Width
+		if adapted, ok := cp.c.intWidth[e]; ok {
+			w = adapted
+		}
+		return cp.f.BVConst(e.Value, w)
+
+	case *BoolExpr:
+		return cp.f.Bool(e.Value)
+
+	case *ValidExpr:
+		return cp.c.valids[e].Term
+
+	case *HitExpr:
+		return cp.c.insts[e].HitVar.Term
+
+	case *ActionExpr:
+		// Only reachable through an action comparison, which compiles the
+		// whole ==/!= node below without recursing here.
+		panic(fmt.Sprintf("prop: action_run(%s) compiled outside a comparison", e.Table))
+
+	case *UnaryExpr:
+		x := cp.compile(e.X)
+		switch e.Op {
+		case "!":
+			return cp.f.Not(x)
+		case "~":
+			return cp.f.BVNot(x)
+		default: // "-"
+			return cp.f.Neg(x)
+		}
+
+	case *BinaryExpr:
+		return cp.compileBinary(e)
+	}
+	panic(fmt.Sprintf("prop: unhandled expression %T", e))
+}
+
+func (cp *compiler) compileBinary(e *BinaryExpr) *smt.Term {
+	if e.Op == "==" || e.Op == "!=" {
+		if ae, path, _ := actionCompare(e); ae != nil {
+			inst := cp.c.insts[ae]
+			idx := cp.c.actIdx[path]
+			eq := cp.f.Eq(inst.ActVar.Term, cp.f.BVConst64(int64(idx), inst.ActVar.Sort.Width))
+			if e.Op == "!=" {
+				return cp.f.Not(eq)
+			}
+			return eq
+		}
+	}
+	x := cp.compile(e.X)
+	y := cp.compile(e.Y)
+	switch e.Op {
+	case "->":
+		return cp.f.Implies(x, y)
+	case "||":
+		return cp.f.Or(x, y)
+	case "&&":
+		return cp.f.And(x, y)
+	case "==":
+		return cp.f.Eq(x, y)
+	case "!=":
+		return cp.f.Not(cp.f.Eq(x, y))
+	case "<":
+		return cp.f.Ult(x, y)
+	case "<=":
+		return cp.f.Ule(x, y)
+	case ">":
+		return cp.f.Ult(y, x)
+	case ">=":
+		return cp.f.Ule(y, x)
+	case "|":
+		return cp.f.BVOr(x, y)
+	case "^":
+		return cp.f.BVXor(x, y)
+	case "&":
+		return cp.f.BVAnd(x, y)
+	case "+":
+		return cp.f.Add(x, y)
+	case "-":
+		return cp.f.Sub(x, y)
+	}
+	panic(fmt.Sprintf("prop: unhandled binary operator %q", e.Op))
+}

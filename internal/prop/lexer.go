@@ -1,0 +1,161 @@
+package prop
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"unicode"
+)
+
+// tokKind discriminates lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // value in numVal, explicit width (0 = none) in numWidth
+	tokOp     // operator / punctuation, text in lit
+)
+
+type token struct {
+	kind     tokKind
+	lit      string
+	numVal   *big.Int
+	numWidth int
+	pos      Pos
+}
+
+// lexer tokenizes one property predicate. It is seeded with a base
+// position so predicates embedded mid-line (source comments) report
+// their true file:line:col.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	file string
+}
+
+func newLexer(src string, base Pos) *lexer {
+	return &lexer{src: src, line: base.Line, col: base.Col, file: base.File}
+}
+
+func (l *lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.off < len(l.src); i++ {
+		if l.src[l.off] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.off++
+	}
+}
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekAt(i int) byte {
+	if l.off+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+i]
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// twoCharOps are matched before single-char operators.
+var twoCharOps = []string{"->", "||", "&&", "==", "!=", "<=", ">="}
+
+// next returns the next token. Lexing errors come back as an error with
+// the offending position.
+func (l *lexer) next() (token, error) {
+	for l.off < len(l.src) && (l.peek() == ' ' || l.peek() == '\t') {
+		l.advance(1)
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.peek()
+
+	if unicode.IsDigit(rune(c)) {
+		return l.lexNumber(start)
+	}
+	if isIdentStart(c) {
+		j := 0
+		for l.off+j < len(l.src) && isIdentPart(l.src[l.off+j]) {
+			j++
+		}
+		lit := l.src[l.off : l.off+j]
+		l.advance(j)
+		return token{kind: tokIdent, lit: lit, pos: start}, nil
+	}
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(l.src[l.off:], op) {
+			l.advance(2)
+			return token{kind: tokOp, lit: op, pos: start}, nil
+		}
+	}
+	switch c {
+	case '(', ')', ',', '.', '!', '~', '-', '+', '*', '&', '|', '^', '<', '>':
+		l.advance(1)
+		return token{kind: tokOp, lit: string(c), pos: start}, nil
+	}
+	return token{}, fmt.Errorf("%s: unexpected character %q in property", start, string(c))
+}
+
+// lexNumber handles decimal, 0x hex, and P4 width-prefixed literals
+// (9w0, 16w0x800).
+func (l *lexer) lexNumber(start Pos) (token, error) {
+	j := 0
+	for l.off+j < len(l.src) && unicode.IsDigit(rune(l.src[l.off+j])) {
+		j++
+	}
+	width := 0
+	if l.peekAt(j) == 'w' {
+		w, ok := new(big.Int).SetString(l.src[l.off:l.off+j], 10)
+		if !ok || !w.IsInt64() || w.Int64() <= 0 || w.Int64() > 4096 {
+			return token{}, fmt.Errorf("%s: bad width in sized literal", start)
+		}
+		width = int(w.Int64())
+		l.advance(j + 1) // width digits + 'w'
+		j = 0
+	}
+	base := 10
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		base = 16
+		l.advance(2)
+		j = 0
+	}
+	digits := func(c byte) bool {
+		if base == 16 {
+			return unicode.IsDigit(rune(c)) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+		}
+		return unicode.IsDigit(rune(c))
+	}
+	for l.off+j < len(l.src) && digits(l.src[l.off+j]) {
+		j++
+	}
+	if j == 0 {
+		return token{}, fmt.Errorf("%s: malformed number", start)
+	}
+	v, ok := new(big.Int).SetString(l.src[l.off:l.off+j], base)
+	if !ok {
+		return token{}, fmt.Errorf("%s: malformed number", start)
+	}
+	l.advance(j)
+	return token{kind: tokNumber, numVal: v, numWidth: width, pos: start}, nil
+}

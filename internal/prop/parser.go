@@ -1,0 +1,266 @@
+package prop
+
+import (
+	"fmt"
+)
+
+// parser is a recursive-descent parser over the property token stream.
+// Precedence, loosest to tightest:
+//
+//	->  (right-associative implication)
+//	||
+//	&&
+//	== != < <= > >=   (non-associative comparison)
+//	|  ^  &           (bitwise, each level left-associative)
+//	+  -              (additive)
+//	unary ! ~ -
+//	postfix .field / .isValid()
+//	primary: literal, path, hit(t), miss(t), action_run(t), ( expr )
+type parser struct {
+	lex *lexer
+	tok token
+	err error
+}
+
+// ParseExpr parses one predicate string into an AST, positions offset
+// from base. Trailing input after the expression is an error.
+func ParseExpr(src string, base Pos) (Expr, error) {
+	p := &parser{lex: newLexer(src, base)}
+	p.next()
+	e := p.parseImplies()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("%s: unexpected %q after property expression", p.tok.pos, p.tokText())
+	}
+	return e, nil
+}
+
+func (p *parser) tokText() string {
+	switch p.tok.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return p.tok.numVal.String()
+	default:
+		return p.tok.lit
+	}
+}
+
+func (p *parser) next() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		p.err = err
+		p.tok = token{kind: tokEOF}
+		return
+	}
+	p.tok = t
+}
+
+func (p *parser) errorf(pos Pos, format string, args ...interface{}) {
+	if p.err == nil {
+		p.err = fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func (p *parser) expectOp(op string) {
+	if p.err != nil {
+		return
+	}
+	if p.tok.kind != tokOp || p.tok.lit != op {
+		p.errorf(p.tok.pos, "expected %q, found %q", op, p.tokText())
+		return
+	}
+	p.next()
+}
+
+func (p *parser) atOp(ops ...string) string {
+	if p.err != nil || p.tok.kind != tokOp {
+		return ""
+	}
+	for _, op := range ops {
+		if p.tok.lit == op {
+			return op
+		}
+	}
+	return ""
+}
+
+func (p *parser) parseImplies() Expr {
+	x := p.parseOr()
+	if op := p.atOp("->"); op != "" {
+		pos := p.tok.pos
+		p.next()
+		y := p.parseImplies() // right-assoc
+		return &BinaryExpr{Op: "->", X: x, Y: y, Pos: pos}
+	}
+	return x
+}
+
+func (p *parser) parseOr() Expr {
+	x := p.parseAnd()
+	for p.atOp("||") != "" {
+		pos := p.tok.pos
+		p.next()
+		x = &BinaryExpr{Op: "||", X: x, Y: p.parseAnd(), Pos: pos}
+	}
+	return x
+}
+
+func (p *parser) parseAnd() Expr {
+	x := p.parseCmp()
+	for p.atOp("&&") != "" {
+		pos := p.tok.pos
+		p.next()
+		x = &BinaryExpr{Op: "&&", X: x, Y: p.parseCmp(), Pos: pos}
+	}
+	return x
+}
+
+func (p *parser) parseCmp() Expr {
+	x := p.parseBitOr()
+	if op := p.atOp("==", "!=", "<", "<=", ">", ">="); op != "" {
+		pos := p.tok.pos
+		p.next()
+		return &BinaryExpr{Op: op, X: x, Y: p.parseBitOr(), Pos: pos}
+	}
+	return x
+}
+
+func (p *parser) parseBitOr() Expr {
+	x := p.parseBitXor()
+	for p.atOp("|") != "" {
+		pos := p.tok.pos
+		p.next()
+		x = &BinaryExpr{Op: "|", X: x, Y: p.parseBitXor(), Pos: pos}
+	}
+	return x
+}
+
+func (p *parser) parseBitXor() Expr {
+	x := p.parseBitAnd()
+	for p.atOp("^") != "" {
+		pos := p.tok.pos
+		p.next()
+		x = &BinaryExpr{Op: "^", X: x, Y: p.parseBitAnd(), Pos: pos}
+	}
+	return x
+}
+
+func (p *parser) parseBitAnd() Expr {
+	x := p.parseAdd()
+	for p.atOp("&") != "" {
+		pos := p.tok.pos
+		p.next()
+		x = &BinaryExpr{Op: "&", X: x, Y: p.parseAdd(), Pos: pos}
+	}
+	return x
+}
+
+func (p *parser) parseAdd() Expr {
+	x := p.parseUnary()
+	for {
+		op := p.atOp("+", "-")
+		if op == "" {
+			return x
+		}
+		pos := p.tok.pos
+		p.next()
+		x = &BinaryExpr{Op: op, X: x, Y: p.parseUnary(), Pos: pos}
+	}
+}
+
+func (p *parser) parseUnary() Expr {
+	if op := p.atOp("!", "~", "-"); op != "" {
+		pos := p.tok.pos
+		p.next()
+		return &UnaryExpr{Op: op, X: p.parseUnary(), Pos: pos}
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix handles dotted member access and the .isValid() call.
+func (p *parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for p.atOp(".") != "" {
+		dotPos := p.tok.pos
+		p.next()
+		if p.tok.kind != tokIdent {
+			p.errorf(dotPos, "expected field name after '.'")
+			return x
+		}
+		name := p.tok.lit
+		p.next()
+		if name == "isValid" {
+			p.expectOp("(")
+			p.expectOp(")")
+			path, ok := x.(*PathExpr)
+			if !ok {
+				p.errorf(dotPos, "isValid() requires a header path receiver")
+				return x
+			}
+			x = &ValidExpr{Header: path, Pos: path.Pos}
+			continue
+		}
+		path, ok := x.(*PathExpr)
+		if !ok {
+			p.errorf(dotPos, "cannot select field %q of a non-path expression", name)
+			return x
+		}
+		path.Parts = append(path.Parts, name)
+	}
+	return x
+}
+
+func (p *parser) parsePrimary() Expr {
+	pos := p.tok.pos
+	switch {
+	case p.tok.kind == tokNumber:
+		e := &IntExpr{Value: p.tok.numVal, Width: p.tok.numWidth, Pos: pos}
+		p.next()
+		return e
+	case p.tok.kind == tokIdent:
+		name := p.tok.lit
+		p.next()
+		switch name {
+		case "true":
+			return &BoolExpr{Value: true, Pos: pos}
+		case "false":
+			return &BoolExpr{Value: false, Pos: pos}
+		case "hit", "miss", "action_run":
+			if p.atOp("(") == "" {
+				// A bare identifier that happens to collide with a
+				// builtin name: treat it as a path root.
+				return &PathExpr{Parts: []string{name}, Pos: pos}
+			}
+			p.expectOp("(")
+			if p.tok.kind != tokIdent {
+				p.errorf(p.tok.pos, "expected table name in %s(...)", name)
+				return &BoolExpr{Pos: pos}
+			}
+			table := p.tok.lit
+			p.next()
+			p.expectOp(")")
+			switch name {
+			case "hit":
+				return &HitExpr{Table: table, Pos: pos}
+			case "miss":
+				return &UnaryExpr{Op: "!", X: &HitExpr{Table: table, Pos: pos}, Pos: pos}
+			default:
+				return &ActionExpr{Table: table, Pos: pos}
+			}
+		}
+		return &PathExpr{Parts: []string{name}, Pos: pos}
+	case p.atOp("(") != "":
+		p.next()
+		e := p.parseImplies()
+		p.expectOp(")")
+		return e
+	}
+	p.errorf(pos, "expected expression, found %q", p.tokText())
+	return &BoolExpr{Pos: pos}
+}

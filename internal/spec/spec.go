@@ -71,11 +71,29 @@ type Assertion struct {
 	Vars map[string]int `json:"vars"`
 }
 
+// PropertyRecord documents one user @assert property check in the spec
+// artifact: where it was declared and how the verify→infer loop left
+// it. "holds" means the check was proven unreachable (discharged or
+// unsat), "controlled" means the inferred annotations make it
+// unreachable (the shim enforcing them keeps the property true), and
+// "violated" means a dataplane bug remains. @assume constraints don't
+// appear: they shape the input space rather than get checked.
+type PropertyRecord struct {
+	Origin string `json:"origin"` // declaration site, file:line:col
+	Text   string `json:"text"`   // predicate as written
+	// Table attributes the check to the table instance whose assert
+	// point dominates it (empty outside any table).
+	Table  string `json:"table,omitempty"`
+	Status string `json:"status"` // holds | controlled | violated
+}
+
 // File is a complete spec file.
 type File struct {
 	Program    string         `json:"program"`
 	Tables     []*TableSchema `json:"tables"`
 	Assertions []*Assertion   `json:"assertions"`
+	// Properties records the user @assert checks and their outcomes.
+	Properties []*PropertyRecord `json:"properties,omitempty"`
 	// Suggestions carries non-enforceable advice (egress-spec fix).
 	Suggestions []string `json:"suggestions,omitempty"`
 }
@@ -114,6 +132,33 @@ func Build(program string, p *ir.Program, rep *core.Report, res *infer.Result, s
 		f.Tables = append(f.Tables, ts)
 	}
 	sort.Slice(f.Tables, func(i, j int) bool { return f.Tables[i].Prefix < f.Tables[j].Prefix })
+	if rep != nil {
+		for _, b := range rep.Bugs {
+			if b.Kind != ir.BugAssertFail || b.Node.Prop == nil {
+				continue
+			}
+			pr := &PropertyRecord{Origin: b.Node.Prop.Origin, Text: b.Node.Prop.Text}
+			if b.Instance != nil {
+				pr.Table = b.Instance.Table.Name
+			}
+			switch {
+			case !b.Reachable:
+				pr.Status = "holds"
+			case res.Controlled[b.Node]:
+				pr.Status = "controlled"
+			default:
+				pr.Status = "violated"
+			}
+			f.Properties = append(f.Properties, pr)
+		}
+		sort.Slice(f.Properties, func(i, j int) bool {
+			a, b := f.Properties[i], f.Properties[j]
+			if a.Origin != b.Origin {
+				return a.Origin < b.Origin
+			}
+			return a.Table < b.Table
+		})
+	}
 	for _, a := range res.Assertions {
 		sa := &Assertion{
 			Table:  a.Instance.Table.Name,
@@ -211,6 +256,13 @@ func (f *File) Render() string {
 	fmt.Fprintf(&b, "-- bf4 controller assertions for %s\n", f.Program)
 	for _, s := range f.Suggestions {
 		fmt.Fprintf(&b, "-- suggestion: %s\n", s)
+	}
+	for _, pr := range f.Properties {
+		where := ""
+		if pr.Table != "" {
+			where = " in " + pr.Table
+		}
+		fmt.Fprintf(&b, "-- property (%s) @ %s%s: %s\n", pr.Text, pr.Origin, where, pr.Status)
 	}
 	for _, a := range f.Assertions {
 		names := make([]string, 0, len(a.Vars))

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the module
+// root (the directory containing go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+func TestCollectsExprKinds(t *testing.T) {
+	root := repoRoot(t)
+	kinds, err := exprStructs(filepath.Join(root, "internal/prop/ast.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, k := range kinds {
+		got[k] = true
+	}
+	for _, probe := range []string{
+		"PathExpr", "IntExpr", "BoolExpr", "ValidExpr",
+		"HitExpr", "ActionExpr", "UnaryExpr", "BinaryExpr",
+	} {
+		if !got[probe] {
+			t.Errorf("exprStructs missed %s (got %v)", probe, kinds)
+		}
+	}
+	if got["Expr"] {
+		t.Error("exprStructs leaked the Expr interface into the struct set")
+	}
+}
+
+func TestStarCaseIdents(t *testing.T) {
+	root := repoRoot(t)
+	cases, err := starCaseIdents(filepath.Join(root, "internal/prop/check.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cases["PathExpr"] || !cases["BinaryExpr"] {
+		t.Errorf("starCaseIdents missed expected cases in check.go: %v", cases)
+	}
+}
+
+// TestWalkersExhaustive is the analyzer's own contract run as a unit
+// test: every AST kind has a case in every walker file. CI also runs
+// the command form.
+func TestWalkersExhaustive(t *testing.T) {
+	root := repoRoot(t)
+	kinds, err := exprStructs(filepath.Join(root, "internal/prop/ast.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wf := range walkerFiles {
+		cases, err := starCaseIdents(filepath.Join(root, wf.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range kinds {
+			if !cases[k] {
+				t.Errorf("%s: *%s has no explicit case", wf.file, k)
+			}
+		}
+	}
+}
