@@ -8,6 +8,7 @@
 //	bf4-bench -run rewrite [-json]
 //	bf4-bench -run incremental [-json]
 //	bf4-bench -run shimfleet [-json]
+//	bf4-bench -run shimscale [-fastpath on|off|both] [-updates N] [-decision-log path] [-json]
 //	bf4-bench -run slicing|infer|multitable|dontcare|p4v|vera|shim|overhead|stages
 //	bf4-bench -run all
 //
@@ -26,8 +27,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -36,9 +39,11 @@ import (
 
 func main() {
 	var (
-		run         = flag.String("run", "all", "experiment: table1, discharge, rewrite, incremental, slicing, infer, multitable, dontcare, p4v, vera, shim, shimfleet, overhead, stages, all")
+		run         = flag.String("run", "all", "experiment: table1, discharge, rewrite, incremental, slicing, infer, multitable, dontcare, p4v, vera, shim, shimfleet, shimscale, overhead, stages, all")
 		switchScale = flag.Int("switch-scale", 8, "generated switch scale for switch-based experiments")
-		updates     = flag.Int("updates", 2000, "controller updates for the shim experiment")
+		updates     = flag.Int("updates", 2000, "controller updates for the shim experiment (shimscale defaults to 1000000 unless set explicitly)")
+		fastpath    = flag.String("fastpath", "on", "shimscale: bytecode fast path on|off|both (both replays each tier and reports the speedup)")
+		decisionLog = flag.String("decision-log", "", "shimscale: write per-update decision logs to <path>.on / <path>.off for byte-diffing the tiers")
 		veraBudget  = flag.Duration("vera-budget", 20*time.Second, "budget for symbolic Vera exploration")
 		jobs        = flag.Int("j", 0, "worker pool size for parallel experiments (0 = GOMAXPROCS, 1 = serial)")
 		stable      = flag.Bool("stable", false, "render table1 without the runtime column (byte-stable across -j values and machines)")
@@ -281,6 +286,82 @@ func main() {
 				return err
 			}
 			fmt.Println("wrote BENCH_shimfleet.json")
+		}
+		return nil
+	})
+
+	dispatch("shimscale", func() error {
+		// The headline run replays 1M updates; an explicit -updates (the
+		// CI smoke job passes a reduced scale) overrides, and -run all
+		// uses the shared -updates default.
+		scaleUpdates := 1_000_000
+		if all {
+			scaleUpdates = *updates
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "updates" {
+				scaleUpdates = *updates
+			}
+		})
+		setup, err := experiments.NewShimScaleSetup(*switchScale, scaleUpdates)
+		if err != nil {
+			return err
+		}
+		arms := map[string][]bool{"on": {true}, "off": {false}, "both": {true, false}}[*fastpath]
+		if arms == nil {
+			return fmt.Errorf("-fastpath must be on, off or both, got %q", *fastpath)
+		}
+		var results []*experiments.ShimScaleResult
+		for _, fp := range arms {
+			var log io.Writer
+			var logFile *os.File
+			if *decisionLog != "" {
+				suffix := map[bool]string{true: ".on", false: ".off"}[fp]
+				logFile, err = os.Create(*decisionLog + suffix)
+				if err != nil {
+					return err
+				}
+				log = bufio.NewWriterSize(logFile, 1<<20)
+			}
+			r, err := setup.Run(scaleUpdates, fp, log)
+			if err != nil {
+				return err
+			}
+			if logFile != nil {
+				if err := log.(*bufio.Writer).Flush(); err != nil {
+					return err
+				}
+				if err := logFile.Close(); err != nil {
+					return err
+				}
+			}
+			results = append(results, r)
+			fmt.Printf("fastpath=%-5v %d updates in %s: %.0f updates/s (%d accepted, %d rejected; %d fast / %d slow evals)\n",
+				fp, r.Updates, time.Duration(r.ElapsedNs).Round(time.Millisecond),
+				r.UpdatesPerSec, r.Accepted, r.Rejected, r.FastHits, r.SlowHits)
+			if *jsonOut {
+				name := "BENCH_shimscale.json"
+				if !fp {
+					name = "BENCH_shimscale_off.json"
+				}
+				data, err := experiments.ShimScaleJSON(r)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(name, data, 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", name)
+			}
+		}
+		if len(results) == 2 {
+			on, off := results[0], results[1]
+			if on.Accepted != off.Accepted || on.Rejected != off.Rejected {
+				return fmt.Errorf("tiers disagree: on=%d/%d off=%d/%d accepted/rejected",
+					on.Accepted, on.Rejected, off.Accepted, off.Rejected)
+			}
+			fmt.Printf("speedup: %.1fx (identical decisions on both tiers)\n",
+				on.UpdatesPerSec/off.UpdatesPerSec)
 		}
 		return nil
 	})

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"bf4/internal/driver"
+	"bf4/internal/progs"
+	"bf4/internal/shim"
+	"bf4/internal/spec"
+	"bf4/internal/trace"
+)
+
+// ShimScaleResult is the BENCH_shimscale.json artifact: update
+// throughput of the runtime shim at controller-fleet scale, with the
+// bytecode fast path on or off. Decisions (accepted/rejected and the
+// fast/slow hit split) are deterministic functions of (scale, updates);
+// only elapsed_ns and updates_per_sec move between machines.
+type ShimScaleResult struct {
+	Bench         string  `json:"bench"` // always "shimscale"
+	Fastpath      bool    `json:"fastpath"`
+	Scale         int     `json:"scale"`
+	Updates       int64   `json:"updates"`
+	Accepted      int64   `json:"accepted"`
+	Rejected      int64   `json:"rejected"`
+	FastHits      int64   `json:"fast_hits"`
+	SlowHits      int64   `json:"slow_hits"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+}
+
+// shimScaleEpoch is the deterministic controller-session trace that gets
+// replayed until the requested update count: the paper's shim evaluation
+// uses a 2000-update trace, and longer runs model sessions that install
+// a bounded table state and start over (which also keeps shadow-table
+// size — and therefore slow-path linked-assertion cost — a constant
+// across epochs instead of an unbounded accumulator).
+const shimScaleEpoch = 2000
+
+// ShimScaleSetup is the fixed part of the scale bench: the verified
+// program's compiled annotations and the deterministic epoch trace.
+// Building it costs a full verification run, so the CLI builds it once
+// and replays both tiers against it.
+type ShimScaleSetup struct {
+	scale int
+	cp    *shim.Compiled
+	epoch []*shim.Update
+}
+
+// NewShimScaleSetup verifies the generated switch at the given scale and
+// prepares the epoch trace (capped at total when shorter than an epoch).
+func NewShimScaleSetup(scale, total int) (*ShimScaleSetup, error) {
+	src := progs.GenerateSwitch(scale)
+	res, err := driver.Run("switch", src, driver.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	pl := res.Fixed
+	if pl == nil {
+		pl = res.Initial
+	}
+	file := spec.Build("switch", pl.IR, res.InitialRep, res.FinalInfer, res.Fixes.Special)
+	cp, err := shim.Compile(file)
+	if err != nil {
+		return nil, err
+	}
+	epochLen := shimScaleEpoch
+	if total < epochLen {
+		epochLen = total
+	}
+	epoch := trace.NewGenerator(1, file).Updates(epochLen)
+	if len(epoch) == 0 {
+		return nil, fmt.Errorf("shimscale: trace generator produced no updates for scale %d", scale)
+	}
+	return &ShimScaleSetup{scale: scale, cp: cp, epoch: epoch}, nil
+}
+
+// ShimScale replays total controller updates through one shim, the
+// bytecode fast path on or off, and reports throughput. decisions, when
+// non-nil, receives one line per update ("seq table verdict [message]");
+// the CI smoke job byte-diffs that log between the two tiers.
+func ShimScale(scale, total int, fastpath bool, decisions io.Writer) (*ShimScaleResult, error) {
+	st, err := NewShimScaleSetup(scale, total)
+	if err != nil {
+		return nil, err
+	}
+	return st.Run(total, fastpath, decisions)
+}
+
+// Run replays total updates against the prepared setup on one tier.
+func (st *ShimScaleSetup) Run(total int, fastpath bool, decisions io.Writer) (*ShimScaleResult, error) {
+	cp, epoch := st.cp, st.epoch
+	out := &ShimScaleResult{Bench: "shimscale", Fastpath: fastpath, Scale: st.scale}
+	var s *shim.Shim
+	start := time.Now()
+	for seq := 0; seq < total; seq++ {
+		j := seq % len(epoch)
+		if j == 0 {
+			// New controller session: fresh shadow state, shared Compiled.
+			s = shim.NewFromCompiled(cp)
+			s.SetFastpath(fastpath)
+		}
+		u := epoch[j]
+		err := s.Apply(u)
+		if err != nil {
+			out.Rejected++
+		} else {
+			out.Accepted++
+		}
+		if decisions != nil {
+			if err != nil {
+				fmt.Fprintf(decisions, "%d %s REJECT %s\n", seq, u.Table, err)
+			} else {
+				fmt.Fprintf(decisions, "%d %s ACCEPT\n", seq, u.Table)
+			}
+		}
+		if j == len(epoch)-1 || seq == total-1 {
+			st := s.Counters()
+			out.FastHits += int64(st.FastpathHits)
+			out.SlowHits += int64(st.SlowpathHits)
+		}
+	}
+	out.ElapsedNs = int64(time.Since(start))
+	out.Updates = int64(total)
+	if out.ElapsedNs > 0 {
+		out.UpdatesPerSec = float64(total) / (float64(out.ElapsedNs) / 1e9)
+	}
+	if fastpath && out.FastHits == 0 {
+		return nil, fmt.Errorf("shimscale: fast path enabled but never hit")
+	}
+	return out, nil
+}
+
+// ShimScaleJSON renders the BENCH_shimscale.json artifact.
+func ShimScaleJSON(r *ShimScaleResult) ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

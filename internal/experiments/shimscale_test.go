@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestShimScaleTiersAgree runs the scale bench small with the fast path
+// on and off: decision logs must be byte-identical (the CI smoke job
+// repeats this at larger scale with bf4-bench), counters must match, and
+// each arm must run on its own tier.
+func TestShimScaleTiersAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verifies a generated switch; skipped in -short")
+	}
+	const scale, updates = 1, 600
+	setup, err := NewShimScaleSetup(scale, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logOn, logOff bytes.Buffer
+	on, err := setup.Run(updates, true, &logOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := setup.Run(updates, false, &logOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(logOn.Bytes(), logOff.Bytes()) {
+		t.Fatal("decision logs differ between fastpath on and off")
+	}
+	if on.Accepted != off.Accepted || on.Rejected != off.Rejected {
+		t.Fatalf("verdict counts differ: on=%d/%d off=%d/%d",
+			on.Accepted, on.Rejected, off.Accepted, off.Rejected)
+	}
+	if on.Rejected == 0 {
+		t.Fatal("trace should include faulty updates")
+	}
+	if on.FastHits == 0 {
+		t.Fatal("fastpath=on never used the bytecode tier")
+	}
+	if off.FastHits != 0 {
+		t.Fatalf("fastpath=off used the bytecode tier %d times", off.FastHits)
+	}
+	if on.FastHits+on.SlowHits != off.SlowHits {
+		t.Fatalf("assertion evaluation counts differ: on=%d+%d off=%d",
+			on.FastHits, on.SlowHits, off.SlowHits)
+	}
+	if on.Updates != updates || off.Updates != updates {
+		t.Fatalf("update counts: on=%d off=%d, want %d", on.Updates, off.Updates, updates)
+	}
+}
+
+// TestShimScaleJSON checks the artifact shape benchcmp consumes.
+func TestShimScaleJSON(t *testing.T) {
+	r := &ShimScaleResult{Bench: "shimscale", Fastpath: true, Scale: 4,
+		Updates: 10, Accepted: 7, Rejected: 3, FastHits: 20, SlowHits: 2,
+		ElapsedNs: 1000, UpdatesPerSec: 1e7}
+	data, err := ShimScaleJSON(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"bench": "shimscale"`, `"fastpath": true`,
+		`"updates_per_sec"`, `"fast_hits": 20`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("artifact missing %s:\n%s", want, data)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package shim
+
+import (
+	"testing"
+
+	"bf4/internal/spec"
+)
+
+// fpFile is a small fixed spec for fingerprint pinning.
+func fpFile() *spec.File {
+	return &spec.File{
+		Program: "fp",
+		Tables: []*spec.TableSchema{{
+			Name:   "t",
+			Prefix: "t$0",
+			Keys:   []spec.KeySchema{{Path: "hdr.x", MatchKind: "exact", Width: 8}},
+			Actions: []*spec.ActionSchema{
+				{Name: "NoAction", Index: 0},
+				{Name: "set", Index: 1, Params: []spec.ParamSchema{{Name: "v", Width: 8}}},
+			},
+			Default: "NoAction",
+		}},
+		Assertions: []*spec.Assertion{{
+			Table:     "t",
+			Source:    "pin",
+			Forbidden: []string{"(and |t$0.hit| (= |t$0.key0| (_ bv0 8)))"},
+			Vars:      map[string]int{"t$0.hit": 0, "t$0.key0": 8},
+		}},
+	}
+}
+
+// TestFingerprintDeterministic: the fingerprint is a function of the
+// spec's content, not of the JSON text it arrived in — reordered fields
+// and reflowed whitespace parse to the same File and the same hash.
+func TestFingerprintDeterministic(t *testing.T) {
+	f := fpFile()
+	fp1, err := Fingerprint(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the wire format.
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := spec.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := Fingerprint(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("round-trip changed the fingerprint: %s != %s", fp1, fp2)
+	}
+	// Same content, scrambled JSON field order and whitespace.
+	scrambled := `{"assertions":[{"vars":{"t$0.key0":8,"t$0.hit":0},
+		"forbidden":["(and |t$0.hit| (= |t$0.key0| (_ bv0 8)))"],
+		"source":"pin","table":"t"}],
+		"tables":[{"default":"NoAction","prefix":"t$0",
+		"actions":[{"index":0,"name":"NoAction"},
+		{"params":[{"width":8,"name":"v"}],"index":1,"name":"set"}],
+		"keys":[{"width":8,"match_kind":"exact","path":"hdr.x"}],
+		"name":"t"}],"program":"fp"}`
+	f3, err := spec.Parse([]byte(scrambled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp3, err := Fingerprint(f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp3 {
+		t.Fatalf("field order changed the fingerprint: %s != %s", fp1, fp3)
+	}
+}
+
+// TestFingerprintDistinct: any semantic edit moves the hash.
+func TestFingerprintDistinct(t *testing.T) {
+	base, err := Fingerprint(fpFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits := map[string]func(*spec.File){
+		"key width":        func(f *spec.File) { f.Tables[0].Keys[0].Width = 16 },
+		"match kind":       func(f *spec.File) { f.Tables[0].Keys[0].MatchKind = "ternary" },
+		"action added":     func(f *spec.File) { f.Tables[0].Actions[1].Buggy = true },
+		"default action":   func(f *spec.File) { f.Tables[0].Default = "set" },
+		"forbidden edited": func(f *spec.File) { f.Assertions[0].Forbidden[0] = "(and |t$0.hit| (= |t$0.key0| (_ bv1 8)))" },
+		"assertion gone":   func(f *spec.File) { f.Assertions = nil },
+	}
+	for name, edit := range edits {
+		f := fpFile()
+		edit(f)
+		fp, err := Fingerprint(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp == base {
+			t.Errorf("%s: fingerprint did not change", name)
+		}
+	}
+}
+
+// TestFingerprintGolden pins the exact hash so accidental changes to the
+// wire format (which would silently split fleet annotation caches across
+// versions) show up as a test failure.
+func TestFingerprintGolden(t *testing.T) {
+	fp, err := Fingerprint(fpFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "7228e1b60d6f94b1dea0e7a015fd02856c9338e41438084f5ed0d961134cb36c"
+	if fp != want {
+		t.Fatalf("fingerprint = %s, want %s", fp, want)
+	}
+}

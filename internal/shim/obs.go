@@ -16,6 +16,8 @@ type shimObs struct {
 	checkpoints      *obs.Counter
 	dedupHits        *obs.Counter
 	journalTornTails *obs.Counter
+	fastpathHits     *obs.Counter
+	slowpathHits     *obs.Counter
 	shadowEntries    *obs.Gauge
 	updateNs         *obs.Histogram
 	assertNs         *obs.Histogram
@@ -31,6 +33,8 @@ type shimObs struct {
 //	bf4_shim_checkpoints_total        journal compactions
 //	bf4_shim_dedup_hits_total         idempotent retries short-circuited
 //	bf4_shim_journal_torn_tails_total torn journal tails truncated at recovery
+//	bf4_shim_fastpath_total           assertion evaluations on the bytecode fast path
+//	bf4_shim_slowpath_total           assertion evaluations on the term-DAG slow path
 //	bf4_shim_shadow_entries           live shadow entries across tables
 //	bf4_shim_update_ns                whole-update validation latency
 //	bf4_shim_assertion_ns             single-assertion evaluation latency
@@ -50,6 +54,8 @@ func (s *Shim) SetObs(reg *obs.Registry) {
 		checkpoints:      reg.Counter("bf4_shim_checkpoints_total"),
 		dedupHits:        reg.Counter("bf4_shim_dedup_hits_total"),
 		journalTornTails: reg.Counter("bf4_shim_journal_torn_tails_total"),
+		fastpathHits:     reg.Counter("bf4_shim_fastpath_total"),
+		slowpathHits:     reg.Counter("bf4_shim_slowpath_total"),
 		shadowEntries:    reg.Gauge("bf4_shim_shadow_entries"),
 		updateNs:         reg.Histogram("bf4_shim_update_ns", obs.DurationBuckets),
 		assertNs:         reg.Histogram("bf4_shim_assertion_ns", obs.DurationBuckets),

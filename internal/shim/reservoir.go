@@ -33,7 +33,10 @@ func newReservoir(capacity int) reservoir {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return reservoir{cap: capacity}
+	// Preallocate the ring: growing by append would re-copy and re-zero
+	// the buffer a dozen times per shim, which dominates short-lived
+	// shims (one is created per controller session in the scale bench).
+	return reservoir{cap: capacity, buf: make([]int64, 0, capacity)}
 }
 
 func (r *reservoir) add(ns int64) {

@@ -61,6 +61,11 @@ type compiledAssertion struct {
 type Stats struct {
 	Validated int
 	Rejected  int
+	// FastpathHits counts assertion evaluations served by a compiled
+	// bytecode program; SlowpathHits counts term-DAG evaluations (shadow
+	// resolution, wide vectors, or -fastpath=off).
+	FastpathHits int
+	SlowpathHits int
 	// PerAssertion summarizes single-assertion evaluation latency;
 	// PerUpdate summarizes whole-update validation latency.
 	PerAssertion LatencyStats
@@ -80,8 +85,12 @@ type Shim struct {
 	cp       *Compiled
 	shadow   map[string][]*dataplane.Entry
 	defaults map[string]*dataplane.DefaultAction
-	counters struct{ validated, rejected int }
+	counters struct{ validated, rejected, fastHits, slowHits int }
 	obs      shimObs
+
+	// fastpath gates the compiled-bytecode evaluation tier (on by
+	// default); when off, every condition takes the term-DAG slow path.
+	fastpath bool
 
 	perAssertion reservoir
 	perUpdate    reservoir
@@ -124,6 +133,10 @@ func Compile(file *spec.File) (*Compiled, error) {
 		file:    file,
 		f:       smt.NewFactory(),
 		byTable: map[string][]*compiledAssertion{},
+		tables:  make(map[string]*spec.TableSchema, len(file.Tables)),
+	}
+	for _, ts := range file.Tables {
+		cp.tables[ts.Name] = ts
 	}
 	for _, a := range file.Assertions {
 		ca := &compiledAssertion{src: a, primary: file.Table(a.Table)}
@@ -154,6 +167,12 @@ func Compile(file *spec.File) (*Compiled, error) {
 			cp.byTable[a.Linked] = append(cp.byTable[a.Linked], ca)
 		}
 	}
+	cp.compileMasks()
+	cp.compilePlans()
+	cp.scratch.New = func() any {
+		regs := make([]uint64, cp.maxRegs)
+		return &regs
+	}
 	return cp, nil
 }
 
@@ -164,12 +183,38 @@ func Compile(file *spec.File) (*Compiled, error) {
 func NewFromCompiled(cp *Compiled) *Shim {
 	return &Shim{
 		cp:           cp,
+		fastpath:     true,
 		shadow:       map[string][]*dataplane.Entry{},
 		defaults:     map[string]*dataplane.DefaultAction{},
 		perAssertion: newReservoir(DefaultStatsCap),
 		perUpdate:    newReservoir(DefaultStatsCap),
-		applied:      map[string]error{},
-		appliedOrder: make([]string, 0, DefaultDedupWindow),
+		// appliedOrder grows on demand in recordOutcome: preallocating
+		// the full window is a 64KB zeroed pointer-slice per shim, pure
+		// waste for callers that never pass an idempotency key.
+		applied: map[string]error{},
+	}
+}
+
+// SetFastpath enables or disables the compiled-bytecode evaluation tier.
+// Decisions are identical either way (the differential harness proves
+// it); off forces every condition through the term-DAG slow path, which
+// is the reference semantics and the -fastpath=off escape hatch.
+func (s *Shim) SetFastpath(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fastpath = on
+}
+
+// Counters returns the scalar counters only, skipping the latency
+// reservoir snapshots Stats copies — cheap enough to poll per batch.
+func (s *Shim) Counters() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Validated:    s.counters.validated,
+		Rejected:     s.counters.rejected,
+		FastpathHits: s.counters.fastHits,
+		SlowpathHits: s.counters.slowHits,
 	}
 }
 
@@ -180,6 +225,8 @@ func (s *Shim) Stats() Stats {
 	return Stats{
 		Validated:    s.counters.validated,
 		Rejected:     s.counters.rejected,
+		FastpathHits: s.counters.fastHits,
+		SlowpathHits: s.counters.slowHits,
 		PerAssertion: s.perAssertion.snapshot(),
 		PerUpdate:    s.perUpdate.snapshot(),
 	}
@@ -335,7 +382,7 @@ func (s *Shim) validateLocked(u *Update) error {
 	s.counters.validated++
 	s.obs.validated.Inc()
 
-	ts := s.cp.file.Table(u.Table)
+	ts := s.cp.tables[u.Table]
 	if ts == nil {
 		s.rejectLocked()
 		return &RejectionError{Table: u.Table, Reason: "unknown table"}
@@ -364,13 +411,50 @@ func (s *Shim) validateLocked(u *Update) error {
 			Reason: fmt.Sprintf("entry has %d keys, table has %d", len(u.Entry.Keys), len(ts.Keys))}
 	}
 
-	env := smt.Env{}
-	bound := bindEntry(env, ts, u.Entry)
+	// Two-tier dispatch: conditions compiled to bytecode run over a
+	// pooled register file; the rest (and everything under -fastpath=off)
+	// takes the term-DAG slow path. Both tiers see identical bindings;
+	// the env is built lazily, only when a slow evaluation actually runs.
+	plan := s.cp.plans[u.Table]
+	useFast := s.fastpath && plan != nil && plan.hasFast
+	var regs []uint64
+	if useFast {
+		regsp := s.cp.scratch.Get().(*[]uint64)
+		defer s.cp.scratch.Put(regsp)
+		regs = *regsp
+		plan.bind(regs, u.Entry)
+	}
+	var env smt.Env
+	var bound map[string]bool
 
-	for _, ca := range s.cp.byTable[u.Table] {
+	for ci, ca := range s.cp.byTable[u.Table] {
 		for i, term := range ca.terms {
 			aStart := time.Now()
-			violated := s.evalCondition(ca, i, term, env, bound, ts)
+			violated, fast := false, false
+			if useFast {
+				switch {
+				case plan.progs[ci][i] != nil:
+					violated, fast = plan.progs[ci][i].Eval(regs), true
+				case plan.linked[ci][i] != nil:
+					violated, fast = s.evalLinkedFast(plan.linked[ci][i], regs), true
+				case len(plan.slowGuards[ci][i]) > 0 && guardsRefute(plan.slowGuards[ci][i], regs):
+					// A false implied conjunct decides the condition
+					// without an env build or term-DAG walk.
+					fast = true
+				}
+			}
+			if fast {
+				s.counters.fastHits++
+				s.obs.fastpathHits.Inc()
+			} else {
+				if env == nil {
+					env = smt.Env{}
+					bound = s.cp.bindEntry(env, ts, u.Entry)
+				}
+				violated = s.evalCondition(ca, i, term, env, bound, ts)
+				s.counters.slowHits++
+				s.obs.slowpathHits.Inc()
+			}
 			aNs := time.Since(aStart).Nanoseconds()
 			s.perAssertion.add(aNs)
 			s.obs.assertNs.Observe(aNs)
@@ -419,7 +503,7 @@ func (s *Shim) evalCondition(ca *compiledAssertion, i int, term *smt.Term, env s
 		}
 		for _, e := range entries {
 			env2 := env.Clone()
-			bindEntry(env2, other, e)
+			s.cp.bindEntry(env2, other, e)
 			if smt.EvalBool(term, env2) {
 				return true
 			}
@@ -433,8 +517,10 @@ func hasPrefixVar(ts *spec.TableSchema, name string) bool {
 }
 
 // bindEntry writes an entry's control-variable values into env and
-// returns the set of bound names.
-func bindEntry(env smt.Env, ts *spec.TableSchema, e *dataplane.Entry) map[string]bool {
+// returns the set of bound names. Match masks come from the per-width
+// memo tables built at compile time rather than fresh big.Int
+// construction per call.
+func (cp *Compiled) bindEntry(env smt.Env, ts *spec.TableSchema, e *dataplane.Entry) map[string]bool {
 	bound := map[string]bool{}
 	set := func(name string, v *big.Int) {
 		env[name] = v
@@ -463,7 +549,7 @@ func bindEntry(env smt.Env, ts *spec.TableSchema, e *dataplane.Entry) map[string
 		case "ternary":
 			m := e.Keys[j].Mask
 			if m == nil {
-				m = ones(k.Width)
+				m = cp.memoOnes(k.Width)
 			}
 			set(fmt.Sprintf("%s.mask%d", ts.Prefix, j), m)
 		case "lpm":
@@ -471,7 +557,7 @@ func bindEntry(env smt.Env, ts *spec.TableSchema, e *dataplane.Entry) map[string
 			if plen < 0 {
 				plen = k.Width
 			}
-			set(fmt.Sprintf("%s.mask%d", ts.Prefix, j), prefixMask(k.Width, plen))
+			set(fmt.Sprintf("%s.mask%d", ts.Prefix, j), cp.memoPrefixMask(k.Width, plen))
 		}
 	}
 	if act != nil {

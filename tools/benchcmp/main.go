@@ -1,4 +1,7 @@
-// Command benchcmp compares two BENCH_table1.json artifacts produced by
+// Command benchcmp compares two bench artifacts, dispatching on their
+// "bench" field.
+//
+// table1 mode compares two BENCH_table1.json artifacts produced by
 // `bf4-bench -run table1 -json` — conventionally incremental solver core
 // ON first, OFF second — and enforces the bench trajectory:
 //
@@ -15,6 +18,18 @@
 //
 // It also reports on how many programs conflicts and propagations went
 // down; the CI log keeps that trajectory visible over time.
+//
+// shimscale mode compares two BENCH_shimscale.json artifacts produced by
+// `bf4-bench -run shimscale -fastpath both -json` — fast path ON first,
+// OFF second:
+//
+//	benchcmp [-min-speedup 2.0] BENCH_shimscale.json BENCH_shimscale_off.json
+//
+// It fails if the two tiers disagree on any decision count (the fast
+// path must never change verdicts), if the ON artifact took any
+// slow-path evaluations the OFF artifact cannot account for, or if the
+// fast path's update throughput is below -min-speedup times the slow
+// path's.
 package main
 
 import (
@@ -47,6 +62,20 @@ type benchFile struct {
 	Rows              []benchRow `json:"rows"`
 }
 
+// shimscaleFile mirrors experiments.ShimScaleResult.
+type shimscaleFile struct {
+	Bench         string  `json:"bench"`
+	Fastpath      bool    `json:"fastpath"`
+	Scale         int     `json:"scale"`
+	Updates       int64   `json:"updates"`
+	Accepted      int64   `json:"accepted"`
+	Rejected      int64   `json:"rejected"`
+	FastHits      int64   `json:"fast_hits"`
+	SlowHits      int64   `json:"slow_hits"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+}
+
 func load(path string) (*benchFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -62,12 +91,36 @@ func load(path string) (*benchFile, error) {
 	return &f, nil
 }
 
+// benchKind reads just the artifact's bench discriminator.
+func benchKind(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var k struct {
+		Bench string `json:"bench"`
+	}
+	if err := json.Unmarshal(data, &k); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return k.Bench, nil
+}
+
 func main() {
-	maxRatio := flag.Float64("max-conflict-ratio", 1.05, "fail if on-conflicts exceed off-conflicts by more than this factor")
+	maxRatio := flag.Float64("max-conflict-ratio", 1.05, "table1: fail if on-conflicts exceed off-conflicts by more than this factor")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "shimscale: fail if fast-path throughput is below this multiple of the slow path")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp [-max-conflict-ratio 1.05] on.json off.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-max-conflict-ratio 1.05] [-min-speedup 2.0] on.json off.json")
 		os.Exit(2)
+	}
+	kind, err := benchKind(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if kind == "shimscale" {
+		compareShimscale(flag.Arg(0), flag.Arg(1), *minSpeedup)
+		return
 	}
 	on, err := load(flag.Arg(0))
 	if err != nil {
@@ -126,6 +179,62 @@ func main() {
 	if float64(on.TotalConflicts) > limit {
 		fatalf("total conflicts regressed: on=%d > %.2f × off=%d",
 			on.TotalConflicts, *maxRatio, off.TotalConflicts)
+	}
+	fmt.Println("benchcmp: OK")
+}
+
+// compareShimscale enforces the fast-path contract between a fastpath=on
+// artifact and its fastpath=off twin: identical decisions, identical
+// total assertion-evaluation counts, and a real speedup.
+func compareShimscale(onPath, offPath string, minSpeedup float64) {
+	loadScale := func(path string, wantFast bool) *shimscaleFile {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var f shimscaleFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		if f.Bench != "shimscale" {
+			fatalf("%s: bench is %q, want shimscale", path, f.Bench)
+		}
+		if f.Fastpath != wantFast {
+			fatalf("%s: fastpath=%v artifact in the %v position", path, f.Fastpath, wantFast)
+		}
+		return &f
+	}
+	on := loadScale(onPath, true)
+	off := loadScale(offPath, false)
+
+	fmt.Printf("%-10s %10s %10s %10s %12s %12s %14s\n",
+		"fastpath", "updates", "accepted", "rejected", "fast-evals", "slow-evals", "updates/s")
+	for _, f := range []*shimscaleFile{on, off} {
+		fmt.Printf("%-10v %10d %10d %10d %12d %12d %14.0f\n",
+			f.Fastpath, f.Updates, f.Accepted, f.Rejected, f.FastHits, f.SlowHits, f.UpdatesPerSec)
+	}
+
+	if on.Scale != off.Scale || on.Updates != off.Updates {
+		fatalf("arms ran different workloads: scale %d/%d, updates %d/%d",
+			on.Scale, off.Scale, on.Updates, off.Updates)
+	}
+	if on.Accepted != off.Accepted || on.Rejected != off.Rejected {
+		fatalf("DECISION MISMATCH: on=%d/%d off=%d/%d accepted/rejected — the fast path changed verdicts",
+			on.Accepted, on.Rejected, off.Accepted, off.Rejected)
+	}
+	if off.FastHits != 0 {
+		fatalf("off artifact took the fast path %d times", off.FastHits)
+	}
+	if on.FastHits == 0 {
+		fatalf("on artifact never took the fast path")
+	}
+	if got, want := on.FastHits+on.SlowHits, off.SlowHits; got != want {
+		fatalf("evaluation counts differ: on=%d (fast+slow) off=%d — tiers did not judge the same assertions", got, want)
+	}
+	speedup := on.UpdatesPerSec / off.UpdatesPerSec
+	fmt.Printf("\nspeedup: %.2fx (minimum %.2fx)\n", speedup, minSpeedup)
+	if speedup < minSpeedup {
+		fatalf("fast path speedup %.2fx below required %.2fx", speedup, minSpeedup)
 	}
 	fmt.Println("benchcmp: OK")
 }
